@@ -1,0 +1,155 @@
+// Command experiments regenerates the paper's evaluation: every Figure 7–9
+// panel, the Figure 2 example, the Section 6.4 summary statistics, the
+// Theorem 1 and Lemma 2 worst-case ratios, and the discrete-event NoC
+// cross-validation.
+//
+// Usage:
+//
+//	experiments -exp fig7a -trials 400
+//	experiments -exp all -trials 100 -csv results/
+//	experiments -exp summary -trials 20
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/experiments"
+	"repro/internal/tables"
+)
+
+func main() {
+	var (
+		exp    = flag.String("exp", "all", "experiment id: fig2, fig7a..fig9c, summary, thm1, lemma2, noc, all")
+		trials = flag.Int("trials", 0, "trials per point (0 = default 400; the paper used 50000)")
+		seed   = flag.Int64("seed", 0, "seed offset added to each panel's base seed")
+		csvDir = flag.String("csv", "", "directory for CSV output (optional)")
+	)
+	flag.Parse()
+	if err := run(*exp, *trials, *seed, *csvDir); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(exp string, trials int, seed int64, csvDir string) error {
+	if csvDir != "" {
+		if err := os.MkdirAll(csvDir, 0o755); err != nil {
+			return err
+		}
+	}
+	ids := []string{exp}
+	if exp == "all" {
+		ids = []string{"fig2", "fig7a", "fig7b", "fig7c", "fig8a", "fig8b", "fig8c",
+			"fig9a", "fig9b", "fig9c", "summary", "thm1", "lemma2", "open1mp", "patterns", "noc"}
+	}
+	for _, id := range ids {
+		if err := runOne(id, trials, seed, csvDir); err != nil {
+			return fmt.Errorf("%s: %w", id, err)
+		}
+	}
+	return nil
+}
+
+func runOne(id string, trials int, seed int64, csvDir string) error {
+	switch id {
+	case "fig2":
+		pxy, p1mp, p2mp, err := experiments.Figure2Powers()
+		if err != nil {
+			return err
+		}
+		t := tables.New("Figure 2: comparison of routing rules (2x2 mesh, Pleak=0, P0=1, α=3, BW=4)",
+			"routing", "power", "paper")
+		t.AddRow("XY", fmt.Sprintf("%g", pxy), "128")
+		t.AddRow("best 1-MP", fmt.Sprintf("%g", p1mp), "56")
+		t.AddRow("best 2-MP (γ2 split 1+2)", fmt.Sprintf("%g", p2mp), "32")
+		return emit(t, csvDir, id)
+	case "summary":
+		per := trials
+		if per == 0 {
+			per = 20
+		}
+		s := experiments.RunSummary(per, 1+seed)
+		return emit(s.Table(), csvDir, id)
+	case "thm1":
+		rows, err := experiments.RunTheorem1([]int{1, 2, 3, 4, 6, 8, 12, 16}, 3)
+		if err != nil {
+			return err
+		}
+		return emit(experiments.Theorem1Table(rows), csvDir, id)
+	case "lemma2":
+		rows, err := experiments.RunLemma2([]int{1, 2, 4, 8, 16, 32}, 2.95)
+		if err != nil {
+			return err
+		}
+		return emit(experiments.Lemma2Table(rows, 2.95), csvDir, id)
+	case "open1mp":
+		rows, err := experiments.RunOpenProblem([][2]int{
+			{2, 2}, {2, 4}, {3, 2}, {3, 3}, {3, 4}, {4, 2}, {4, 3}, {4, 4}, {8, 4}, {8, 8},
+		}, 3)
+		if err != nil {
+			return err
+		}
+		return emit(experiments.OpenProblemTable(rows, 3), csvDir, id)
+	case "patterns":
+		rows, err := experiments.RunPatterns(900)
+		if err != nil {
+			return err
+		}
+		return emit(experiments.PatternTable(rows), csvDir, id)
+	case "noc":
+		v, err := experiments.RunNoCValidation(1+seed, 15)
+		if err != nil {
+			return err
+		}
+		t := tables.New("E15: discrete-event simulation cross-validation (PR routing, n=15)",
+			"metric", "value")
+		t.AddRow("analytic power (mW)", fmt.Sprintf("%.3f", v.AnalyticPowerMW))
+		t.AddRow("simulated power (mW)", fmt.Sprintf("%.3f", v.SimPowerMW))
+		t.AddRow("worst goodput error", fmt.Sprintf("%.2f%%", v.WorstRateError*100))
+		t.AddRow("mean link utilization", fmt.Sprintf("%.3f", v.MeanUtilization))
+		return emit(t, csvDir, id)
+	default:
+		panel, err := experiments.PanelByID(id)
+		if err != nil {
+			return err
+		}
+		panel.Trials = trials
+		panel.Seed += seed
+		res := panel.Run()
+		np, fr := res.Tables()
+		if err := emit(np, csvDir, id+"_power"); err != nil {
+			return err
+		}
+		return emit(fr, csvDir, id+"_failures")
+	}
+}
+
+func emit(t *tables.Table, csvDir, name string) error {
+	if err := t.Render(os.Stdout); err != nil {
+		return err
+	}
+	fmt.Println()
+	if csvDir == "" {
+		return nil
+	}
+	f, err := os.Create(filepath.Join(csvDir, sanitize(name)+".csv"))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return t.WriteCSV(f)
+}
+
+func sanitize(s string) string {
+	s = strings.ToLower(s)
+	return strings.Map(func(r rune) rune {
+		if r >= 'a' && r <= 'z' || r >= '0' && r <= '9' || r == '_' || r == '-' {
+			return r
+		}
+		return '_'
+	}, s)
+}

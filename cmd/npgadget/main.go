@@ -1,0 +1,70 @@
+// Command npgadget demonstrates the Theorem 3 NP-completeness reduction:
+// it builds the Figure 6 gadget from a 2-Partition input, decides
+// feasibility with the exact pseudo-polynomial solver, and, when feasible,
+// prints the witness s-MP routing's saturated vertical links.
+//
+// Usage:
+//
+//	npgadget -a 3,1,1,2,2,1 -s 2
+//	npgadget -a 1,2 -s 2        # infeasible: no partition exists
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/npc"
+)
+
+func main() {
+	var (
+		input = flag.String("a", "3,1,1,2,2,1", "comma-separated 2-partition input")
+		s     = flag.Int("s", 2, "s-MP path budget (≥2)")
+	)
+	flag.Parse()
+	if err := run(*input, *s); err != nil {
+		fmt.Fprintln(os.Stderr, "npgadget:", err)
+		os.Exit(1)
+	}
+}
+
+func run(input string, s int) error {
+	var a []int
+	for _, part := range strings.Split(input, ",") {
+		x, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return fmt.Errorf("bad input element %q: %w", part, err)
+		}
+		a = append(a, x)
+	}
+	red, err := npc.Build(a, s)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("2-Partition input a = %v (sum %d), path budget s = %d\n", red.A, red.Sum, red.S)
+	fmt.Printf("gadget: %v, BW = %g Mb/s, %d communications\n",
+		red.Mesh, red.Model.MaxBW, len(red.Comms))
+
+	subset, ok := npc.Partition(a)
+	if !ok {
+		fmt.Println("2-Partition: NO — by Theorem 3 the gadget admits no valid s-MP routing")
+		return nil
+	}
+	fmt.Printf("2-Partition: YES — subset indices %v\n", subset)
+
+	routing, err := red.RoutingFromPartition(subset)
+	if err != nil {
+		return err
+	}
+	if err := routing.Validate(red.Comms, red.S); err != nil {
+		return fmt.Errorf("witness routing invalid: %w", err)
+	}
+	fmt.Println("witness s-MP routing constructed and validated; vertical link loads:")
+	for v, load := range red.VerticalSaturation(routing) {
+		fmt.Printf("  column %2d: %8.1f / %.1f\n", v+1, load, red.Model.MaxBW)
+	}
+	return nil
+}

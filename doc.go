@@ -1,0 +1,10 @@
+// Package repro reproduces "Power-aware Manhattan routing on chip
+// multiprocessors" (Benoit, Melhem, Renaud-Goud, Robert; INRIA RR-7752 /
+// IPDPS 2012): power-aware single-path and multi-path Manhattan routing of
+// static communication workloads on mesh CMPs with DVFS-scalable links.
+//
+// The root package carries the repository-level benchmark harness
+// (bench_test.go), with one benchmark per table and figure of the paper's
+// evaluation; the library lives under internal/ with internal/core as the
+// public facade. See README.md, DESIGN.md and EXPERIMENTS.md.
+package repro

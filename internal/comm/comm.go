@@ -1,0 +1,198 @@
+// Package comm models the communications to be routed on the CMP
+// (Section 3.2): a set {γ1, …, γnc} where γi = (src core, sink core, δi)
+// and δi is the requested bandwidth in Mb/s. The mapping of applications
+// to cores is fixed upstream, so communications are anonymous flows
+// irrespective of the application that generated them.
+package comm
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/mesh"
+)
+
+// Comm is one communication γi = (C_src, C_snk, δ).
+type Comm struct {
+	// ID identifies the communication within its set; Split preserves it
+	// on every fragment so flows can be reassembled.
+	ID int
+	// Src and Dst are the source and sink cores.
+	Src, Dst mesh.Coord
+	// Rate is the requested bandwidth δi (Mb/s).
+	Rate float64
+}
+
+// String renders γ = (src, dst, δ).
+func (c Comm) String() string {
+	return fmt.Sprintf("γ%d(%v->%v, %.6g)", c.ID, c.Src, c.Dst, c.Rate)
+}
+
+// Length returns ℓi, the Manhattan distance from source to sink, which is
+// the length of every admissible (shortest) path for the communication.
+func (c Comm) Length() int { return mesh.Manhattan(c.Src, c.Dst) }
+
+// Direction returns the quadrant d_i of the communication (Section 3.3).
+func (c Comm) Direction() mesh.Quadrant { return mesh.DirectionOf(c.Src, c.Dst) }
+
+// Validate checks that the communication is well formed on the mesh.
+func (c Comm) Validate(m *mesh.Mesh) error {
+	if !m.Contains(c.Src) {
+		return fmt.Errorf("comm %d: source %v outside %v", c.ID, c.Src, m)
+	}
+	if !m.Contains(c.Dst) {
+		return fmt.Errorf("comm %d: sink %v outside %v", c.ID, c.Dst, m)
+	}
+	if c.Rate <= 0 {
+		return fmt.Errorf("comm %d: non-positive rate %g", c.ID, c.Rate)
+	}
+	if c.Src == c.Dst {
+		return fmt.Errorf("comm %d: source equals sink %v", c.ID, c.Src)
+	}
+	return nil
+}
+
+// Set is an ordered collection of communications.
+type Set []Comm
+
+// Validate checks every communication and ID uniqueness.
+func (s Set) Validate(m *mesh.Mesh) error {
+	seen := make(map[int]bool, len(s))
+	for _, c := range s {
+		if err := c.Validate(m); err != nil {
+			return err
+		}
+		if seen[c.ID] {
+			return fmt.Errorf("comm: duplicate id %d", c.ID)
+		}
+		seen[c.ID] = true
+	}
+	return nil
+}
+
+// TotalRate returns Σ δi, the aggregate requested bandwidth.
+func (s Set) TotalRate() float64 {
+	total := 0.0
+	for _, c := range s {
+		total += c.Rate
+	}
+	return total
+}
+
+// TotalVolume returns Σ δi·ℓi, the aggregate link-bandwidth demand: every
+// single-path routing produces link loads summing to exactly this value
+// (each communication loads ℓi links with δi each).
+func (s Set) TotalVolume() float64 {
+	total := 0.0
+	for _, c := range s {
+		total += c.Rate * float64(c.Length())
+	}
+	return total
+}
+
+// Clone returns a deep copy of the set.
+func (s Set) Clone() Set {
+	out := make(Set, len(s))
+	copy(out, s)
+	return out
+}
+
+// Order is a processing order for greedy heuristics.
+type Order int
+
+// The orders considered in Section 5: the paper reports that decreasing
+// weight "gives the best results"; the alternatives are kept for the
+// ordering ablation benchmark.
+const (
+	// ByWeightDesc sorts by decreasing rate δi (the paper's choice).
+	ByWeightDesc Order = iota
+	// ByWeightAsc sorts by increasing rate.
+	ByWeightAsc
+	// ByLengthDesc sorts by decreasing Manhattan length.
+	ByLengthDesc
+	// ByDensityDesc sorts by decreasing δi/ℓi.
+	ByDensityDesc
+)
+
+// String names the order.
+func (o Order) String() string {
+	switch o {
+	case ByWeightDesc:
+		return "weight-desc"
+	case ByWeightAsc:
+		return "weight-asc"
+	case ByLengthDesc:
+		return "length-desc"
+	case ByDensityDesc:
+		return "density-desc"
+	}
+	return fmt.Sprintf("Order(%d)", int(o))
+}
+
+// Sorted returns a copy of the set sorted by the given order. Ties break
+// by ID so the result is deterministic.
+func (s Set) Sorted(o Order) Set {
+	out := s.Clone()
+	less := func(a, b Comm) bool { return a.Rate > b.Rate }
+	switch o {
+	case ByWeightAsc:
+		less = func(a, b Comm) bool { return a.Rate < b.Rate }
+	case ByLengthDesc:
+		less = func(a, b Comm) bool { return a.Length() > b.Length() }
+	case ByDensityDesc:
+		less = func(a, b Comm) bool {
+			la, lb := a.Length(), b.Length()
+			if la == 0 || lb == 0 {
+				return la > lb
+			}
+			return a.Rate/float64(la) > b.Rate/float64(lb)
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if less(out[i], out[j]) {
+			return true
+		}
+		if less(out[j], out[i]) {
+			return false
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// Split divides a communication into parts with the given rates, all
+// sharing γi's endpoints and ID, per the s-MP rule of Section 3.3:
+// Σ parts = δi. It returns an error if the rates do not sum to the
+// original (within 1e-9) or any part is non-positive.
+func (c Comm) Split(rates []float64) ([]Comm, error) {
+	if len(rates) == 0 {
+		return nil, fmt.Errorf("comm %d: empty split", c.ID)
+	}
+	sum := 0.0
+	for _, r := range rates {
+		if r <= 0 {
+			return nil, fmt.Errorf("comm %d: non-positive split rate %g", c.ID, r)
+		}
+		sum += r
+	}
+	if diff := sum - c.Rate; diff > 1e-9 || diff < -1e-9 {
+		return nil, fmt.Errorf("comm %d: split rates sum to %g, want %g", c.ID, sum, c.Rate)
+	}
+	out := make([]Comm, len(rates))
+	for i, r := range rates {
+		out[i] = Comm{ID: c.ID, Src: c.Src, Dst: c.Dst, Rate: r}
+	}
+	return out, nil
+}
+
+// SplitEqual divides the communication into s equal parts.
+func (c Comm) SplitEqual(s int) ([]Comm, error) {
+	if s < 1 {
+		return nil, fmt.Errorf("comm %d: split count %d < 1", c.ID, s)
+	}
+	rates := make([]float64, s)
+	for i := range rates {
+		rates[i] = c.Rate / float64(s)
+	}
+	return c.Split(rates)
+}

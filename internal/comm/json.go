@@ -1,0 +1,43 @@
+package comm
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/mesh"
+)
+
+// fileFormat is the on-disk JSON envelope for communication sets, so
+// workloads can be exchanged with external tools and replayed exactly.
+// Mesh dimensions are stored for validation at load time.
+type fileFormat struct {
+	P     int    `json:"p"`
+	Q     int    `json:"q"`
+	Comms []Comm `json:"communications"`
+}
+
+// WriteJSON serializes the set together with its mesh dimensions.
+func WriteJSON(w io.Writer, m *mesh.Mesh, set Set) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(fileFormat{P: m.P(), Q: m.Q(), Comms: set})
+}
+
+// ReadJSON loads a communication set and validates it against the stored
+// mesh dimensions, returning the mesh and the set.
+func ReadJSON(r io.Reader) (*mesh.Mesh, Set, error) {
+	var f fileFormat
+	if err := json.NewDecoder(r).Decode(&f); err != nil {
+		return nil, nil, fmt.Errorf("comm: decoding workload: %w", err)
+	}
+	m, err := mesh.New(f.P, f.Q)
+	if err != nil {
+		return nil, nil, err
+	}
+	set := Set(f.Comms)
+	if err := set.Validate(m); err != nil {
+		return nil, nil, err
+	}
+	return m, set, nil
+}

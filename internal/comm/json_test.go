@@ -1,0 +1,50 @@
+package comm
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/mesh"
+)
+
+func TestJSONRoundTrip(t *testing.T) {
+	m := mesh.MustNew(8, 8)
+	set := Set{
+		{ID: 1, Src: mesh.Coord{U: 1, V: 1}, Dst: mesh.Coord{U: 5, V: 6}, Rate: 2800.5},
+		{ID: 2, Src: mesh.Coord{U: 2, V: 7}, Dst: mesh.Coord{U: 7, V: 2}, Rate: 1500},
+	}
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, m, set); err != nil {
+		t.Fatal(err)
+	}
+	m2, set2, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.P() != 8 || m2.Q() != 8 {
+		t.Errorf("mesh = %v", m2)
+	}
+	if len(set2) != len(set) {
+		t.Fatalf("set size %d", len(set2))
+	}
+	for i := range set {
+		if set[i] != set2[i] {
+			t.Errorf("comm %d: %v != %v", i, set[i], set2[i])
+		}
+	}
+}
+
+func TestReadJSONRejectsInvalid(t *testing.T) {
+	cases := map[string]string{
+		"garbage":      "{not json",
+		"bad mesh":     `{"p":0,"q":8,"communications":[]}`,
+		"off-mesh dst": `{"p":2,"q":2,"communications":[{"ID":1,"Src":{"U":1,"V":1},"Dst":{"U":9,"V":9},"Rate":5}]}`,
+		"zero rate":    `{"p":2,"q":2,"communications":[{"ID":1,"Src":{"U":1,"V":1},"Dst":{"U":2,"V":2},"Rate":0}]}`,
+	}
+	for name, payload := range cases {
+		if _, _, err := ReadJSON(strings.NewReader(payload)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}

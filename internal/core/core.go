@@ -1,0 +1,238 @@
+// Package core is the public facade of the library: a single entry point
+// tying together the mesh platform, the power model, communication sets
+// and the routing policies of the paper. Examples and command-line tools
+// consume this package; the specialized packages underneath remain
+// available for fine-grained use.
+//
+// Typical usage:
+//
+//	inst, err := core.NewInstance(8, 8, core.KimHorowitzModel(), comms)
+//	sol, err := inst.Solve("PR")
+//	fmt.Println(sol.Report())
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/comm"
+	"repro/internal/exact"
+	"repro/internal/heur"
+	"repro/internal/mesh"
+	"repro/internal/multipath"
+	"repro/internal/noc"
+	"repro/internal/optflow"
+	"repro/internal/power"
+	"repro/internal/route"
+	"repro/internal/tables"
+)
+
+// Instance is a routing problem: a mesh CMP, a link power model, and the
+// communications to route.
+type Instance struct {
+	Mesh  *mesh.Mesh
+	Model power.Model
+	Comms comm.Set
+}
+
+// NewInstance builds and validates an instance on a p×q mesh.
+func NewInstance(p, q int, model power.Model, comms comm.Set) (*Instance, error) {
+	m, err := mesh.New(p, q)
+	if err != nil {
+		return nil, err
+	}
+	inst := &Instance{Mesh: m, Model: model, Comms: comms}
+	if err := inst.Validate(); err != nil {
+		return nil, err
+	}
+	return inst, nil
+}
+
+// Validate checks the instance.
+func (in *Instance) Validate() error {
+	if err := in.Model.Validate(); err != nil {
+		return err
+	}
+	return in.Comms.Validate(in.Mesh)
+}
+
+// Policies returns the available routing policy names: the paper's
+// heuristics, BEST, OPT (exact branch-and-bound 1-MP, small instances
+// only), equal-split multi-path policies ("2MP", "4MP"), and MAXMP (the
+// Frank–Wolfe optimal unrestricted multi-path routing, materialized by
+// flow decomposition).
+func Policies() []string {
+	names := []string{"OPT", "2MP", "4MP", "MAXMP", "SA"}
+	for _, h := range heur.All() {
+		names = append(names, h.Name())
+	}
+	names = append(names, "BEST")
+	sort.Strings(names)
+	return names
+}
+
+// Solution is a routed and evaluated instance.
+type Solution struct {
+	Policy   string
+	Instance *Instance
+	Routing  route.Routing
+	Result   route.Result
+}
+
+// Solve routes the instance with the named policy.
+func (in *Instance) Solve(policy string) (*Solution, error) {
+	name := strings.ToUpper(policy)
+	switch name {
+	case "OPT":
+		r, ok, err := exact.Solve(in.Mesh, in.Model, in.Comms)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return nil, fmt.Errorf("core: no feasible single-path routing exists")
+		}
+		return in.solution(name, r), nil
+	case "2MP", "4MP":
+		s := 2
+		if name == "4MP" {
+			s = 4
+		}
+		r, err := multipath.EqualSplit{S: s, Inner: heur.TB{}}.Route(in.Mesh, in.Model, in.Comms)
+		if err != nil {
+			return nil, err
+		}
+		return in.solution(name, r), nil
+	case "MAXMP":
+		r, err := in.solveMaxMP()
+		if err != nil {
+			return nil, err
+		}
+		return in.solution(name, r), nil
+	case "SA":
+		r, err := (heur.SA{}).Route(heur.Instance{Mesh: in.Mesh, Model: in.Model, Comms: in.Comms})
+		if err != nil {
+			return nil, err
+		}
+		return in.solution(name, r), nil
+	default:
+		h, err := heur.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		res, err := heur.Solve(h, heur.Instance{Mesh: in.Mesh, Model: in.Model, Comms: in.Comms})
+		if err != nil {
+			return nil, err
+		}
+		return &Solution{Policy: name, Instance: in, Routing: res.Routing, Result: res}, nil
+	}
+}
+
+func (in *Instance) solution(policy string, r route.Routing) *Solution {
+	return &Solution{Policy: policy, Instance: in, Routing: r, Result: route.Evaluate(r, in.Model)}
+}
+
+// solveMaxMP computes the continuous-optimal max-MP fractional routing
+// with Frank–Wolfe and materializes it as explicit per-path flows. The
+// final evaluation still applies the instance's own (possibly discrete)
+// model, so quantization costs appear in the reported power.
+func (in *Instance) solveMaxMP() (route.Routing, error) {
+	sol, err := optflow.Solve(in.Mesh, in.Model, in.Comms, optflow.Options{})
+	if err != nil {
+		return route.Routing{}, err
+	}
+	var flows []route.Flow
+	for _, c := range in.Comms {
+		field := multipath.NewFlowField(in.Mesh, c.Src, c.Dst, c.Rate)
+		for id, v := range sol.PerComm[c.ID] {
+			field.Add(in.Mesh.LinkByID(id), v)
+		}
+		part, err := field.Decompose(c.ID)
+		if err != nil {
+			return route.Routing{}, fmt.Errorf("core: decomposing comm %d: %w", c.ID, err)
+		}
+		flows = append(flows, part...)
+	}
+	return route.Routing{Mesh: in.Mesh, Flows: flows}, nil
+}
+
+// SolveAll routes the instance with every single-path heuristic plus BEST
+// and returns the solutions keyed by policy name.
+func (in *Instance) SolveAll() (map[string]*Solution, error) {
+	out := make(map[string]*Solution)
+	for _, h := range heur.All() {
+		sol, err := in.Solve(h.Name())
+		if err != nil {
+			return nil, err
+		}
+		out[h.Name()] = sol
+	}
+	sol, err := in.Solve("BEST")
+	if err != nil {
+		return nil, err
+	}
+	out["BEST"] = sol
+	return out, nil
+}
+
+// LowerBound returns the routing-independent ideal-sharing dynamic-power
+// lower bound for the instance (Section 4's proof machinery).
+func (in *Instance) LowerBound() float64 {
+	return exact.IdealShareLowerBound(in.Mesh, in.Model, in.Comms)
+}
+
+// Feasible reports whether the solution satisfies every link bandwidth.
+func (s *Solution) Feasible() bool { return s.Result.Feasible }
+
+// PowerMW returns the total dissipated power (meaningful when feasible).
+func (s *Solution) PowerMW() float64 { return s.Result.Power.Total() }
+
+// Report renders a human-readable summary of the solution.
+func (s *Solution) Report() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "policy %s on %v, %d communications\n",
+		s.Policy, s.Instance.Mesh, len(s.Instance.Comms))
+	if !s.Result.Feasible {
+		fmt.Fprintf(&b, "  INFEASIBLE: %v (max load %.1f, top bandwidth %.1f)\n",
+			s.Result.Err, s.Result.MaxLoad(), s.Instance.Model.MaxBW)
+		return b.String()
+	}
+	fmt.Fprintf(&b, "  power: %.3f mW (static %.3f + dynamic %.3f), %d active links\n",
+		s.Result.Power.Total(), s.Result.Power.Static, s.Result.Power.Dynamic,
+		s.Result.Power.ActiveLinks)
+	fmt.Fprintf(&b, "  max link load: %.1f / %.1f Mb/s\n", s.Result.MaxLoad(), s.Instance.Model.MaxBW)
+	fmt.Fprintf(&b, "  ideal-share lower bound: %.3f mW (dynamic only)\n", s.Instance.LowerBound())
+	return b.String()
+}
+
+// Heatmap renders the solution's link loads as an ASCII mesh map.
+func (s *Solution) Heatmap() string {
+	return tables.Heatmap(s.Instance.Mesh, s.Result.Loads, s.Instance.Model.MaxBW)
+}
+
+// Simulate replays the solution in the discrete-event NoC simulator and
+// returns its statistics. Infeasible solutions cannot be simulated (no
+// DVFS operating point exists) and return the underlying error.
+func (s *Solution) Simulate(cfg noc.Config) (*noc.Stats, error) {
+	sim, err := noc.New(s.Routing, s.Instance.Model, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return sim.Run(), nil
+}
+
+// PathsByComm returns the routed paths grouped by communication ID, in ID
+// order, for inspection or table-based router configuration.
+func (s *Solution) PathsByComm() map[int][]route.Path {
+	out := make(map[int][]route.Path)
+	for _, f := range s.Routing.Flows {
+		out[f.Comm.ID] = append(out[f.Comm.ID], f.Path)
+	}
+	return out
+}
+
+// KimHorowitzModel returns the paper's discrete Section 6 model.
+func KimHorowitzModel() power.Model { return power.KimHorowitz() }
+
+// ContinuousModel returns the idealized continuous-frequency variant.
+func ContinuousModel() power.Model { return power.KimHorowitzContinuous() }

@@ -1,0 +1,236 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/comm"
+	"repro/internal/mesh"
+	"repro/internal/noc"
+	"repro/internal/power"
+	"repro/internal/workload"
+)
+
+func demoComms() comm.Set {
+	return comm.Set{
+		{ID: 1, Src: mesh.Coord{U: 1, V: 1}, Dst: mesh.Coord{U: 2, V: 2}, Rate: 1},
+		{ID: 2, Src: mesh.Coord{U: 1, V: 1}, Dst: mesh.Coord{U: 2, V: 2}, Rate: 3},
+	}
+}
+
+func TestNewInstanceValidates(t *testing.T) {
+	if _, err := NewInstance(0, 3, power.Figure2(), nil); err == nil {
+		t.Error("bad mesh accepted")
+	}
+	bad := comm.Set{{ID: 1, Src: mesh.Coord{U: 9, V: 9}, Dst: mesh.Coord{U: 1, V: 1}, Rate: 1}}
+	if _, err := NewInstance(2, 2, power.Figure2(), bad); err == nil {
+		t.Error("off-mesh comm accepted")
+	}
+	if _, err := NewInstance(2, 2, power.Model{}, demoComms()); err == nil {
+		t.Error("zero model accepted")
+	}
+}
+
+func TestSolvePolicies(t *testing.T) {
+	inst, err := NewInstance(2, 2, power.Figure2(), demoComms())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]float64{
+		"XY": 128, "SG": 56, "IG": 56, "TB": 56, "XYI": 56, "PR": 56,
+		"BEST": 56, "OPT": 56,
+	}
+	for policy, p := range want {
+		sol, err := inst.Solve(policy)
+		if err != nil {
+			t.Fatalf("%s: %v", policy, err)
+		}
+		if !sol.Feasible() {
+			t.Fatalf("%s infeasible", policy)
+		}
+		if math.Abs(sol.PowerMW()-p) > 1e-9 {
+			t.Errorf("%s power = %g, want %g", policy, sol.PowerMW(), p)
+		}
+	}
+	// Multi-path reaches below the single-path optimum.
+	sol, err := inst.Solve("2MP")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.PowerMW() >= 56 {
+		t.Errorf("2MP power %g not below 56", sol.PowerMW())
+	}
+	// MAXMP reaches the unrestricted optimum: 32 on this instance
+	// (loads 2/2/2/2, the paper's 2-MP split is already max-MP-optimal).
+	sol, err = inst.Solve("MAXMP")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sol.Feasible() || math.Abs(sol.PowerMW()-32) > 0.01 {
+		t.Errorf("MAXMP power %g (feasible=%v), want ≈32", sol.PowerMW(), sol.Feasible())
+	}
+	if err := sol.Routing.Validate(inst.Comms, 0); err != nil {
+		t.Errorf("MAXMP routing invalid: %v", err)
+	}
+	// Policy names are case-insensitive.
+	if _, err := inst.Solve("pr"); err != nil {
+		t.Errorf("lowercase policy rejected: %v", err)
+	}
+	if _, err := inst.Solve("nope"); err == nil {
+		t.Error("unknown policy accepted")
+	}
+}
+
+func TestSolveAll(t *testing.T) {
+	inst, err := NewInstance(8, 8, KimHorowitzModel(), workload.New(mesh.MustNew(8, 8), 5).Uniform(15, 100, 1500))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sols, err := inst.SolveAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"XY", "SG", "IG", "TB", "XYI", "PR", "BEST"} {
+		if sols[name] == nil {
+			t.Fatalf("missing solution %s", name)
+		}
+	}
+	best := sols["BEST"]
+	for name, s := range sols {
+		if name == "BEST" || !s.Feasible() {
+			continue
+		}
+		if best.PowerMW() > s.PowerMW()+1e-9 {
+			t.Errorf("BEST %g worse than %s %g", best.PowerMW(), name, s.PowerMW())
+		}
+	}
+}
+
+func TestLowerBoundBelowSolutions(t *testing.T) {
+	inst, err := NewInstance(8, 8, KimHorowitzModel(), workload.New(mesh.MustNew(8, 8), 9).Uniform(10, 200, 1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lb := inst.LowerBound()
+	sol, err := inst.Solve("BEST")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Feasible() && sol.PowerMW() < lb-1e-6 {
+		t.Errorf("solution %g below lower bound %g", sol.PowerMW(), lb)
+	}
+}
+
+func TestReportContents(t *testing.T) {
+	inst, err := NewInstance(2, 2, power.Figure2(), demoComms())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := inst.Solve("PR")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := sol.Report()
+	for _, want := range []string{"policy PR", "power", "active links", "lower bound"} {
+		if !strings.Contains(rep, want) {
+			t.Errorf("report missing %q:\n%s", want, rep)
+		}
+	}
+	// Infeasible report path.
+	heavy := comm.Set{{ID: 1, Src: mesh.Coord{U: 1, V: 1}, Dst: mesh.Coord{U: 2, V: 2}, Rate: 100}}
+	inst2, err := NewInstance(2, 2, power.Figure2(), heavy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol2, err := inst2.Solve("XY")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sol2.Report(), "INFEASIBLE") {
+		t.Error("infeasible report lacks marker")
+	}
+}
+
+func TestPathsByComm(t *testing.T) {
+	inst, err := NewInstance(2, 2, power.Figure2(), demoComms())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := inst.Solve("2MP")
+	if err != nil {
+		t.Fatal(err)
+	}
+	paths := sol.PathsByComm()
+	if len(paths[1]) == 0 || len(paths[2]) == 0 {
+		t.Fatalf("paths missing: %v", paths)
+	}
+	if len(paths[2]) > 2 {
+		t.Errorf("2MP produced %d paths for one comm", len(paths[2]))
+	}
+}
+
+func TestPoliciesList(t *testing.T) {
+	names := Policies()
+	set := map[string]bool{}
+	for _, n := range names {
+		set[n] = true
+	}
+	for _, want := range []string{"XY", "SG", "IG", "TB", "XYI", "PR", "BEST", "OPT", "2MP", "4MP", "MAXMP", "SA"} {
+		if !set[want] {
+			t.Errorf("Policies() missing %s (got %v)", want, names)
+		}
+	}
+}
+
+func TestSolutionSimulate(t *testing.T) {
+	inst, err := NewInstance(8, 8, KimHorowitzModel(),
+		workload.New(mesh.MustNew(8, 8), 17).Uniform(8, 100, 1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := inst.Solve("PR")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sol.Feasible() {
+		t.Skip("seed produced an infeasible instance")
+	}
+	st, err := sol.Simulate(noc.Config{Horizon: 800, Warmup: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(st.PowerMW-sol.PowerMW()) > 1e-6 {
+		t.Errorf("simulated power %g != analytic %g", st.PowerMW, sol.PowerMW())
+	}
+	// Infeasible solutions cannot be simulated.
+	heavy := comm.Set{
+		{ID: 1, Src: mesh.Coord{U: 1, V: 1}, Dst: mesh.Coord{U: 1, V: 2}, Rate: 3000},
+		{ID: 2, Src: mesh.Coord{U: 1, V: 1}, Dst: mesh.Coord{U: 1, V: 2}, Rate: 3000},
+	}
+	inst2, err := NewInstance(8, 8, KimHorowitzModel(), heavy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol2, err := inst2.Solve("XY")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sol2.Simulate(noc.Config{}); err == nil {
+		t.Error("infeasible solution simulated")
+	}
+}
+
+func TestSolveOPTInfeasible(t *testing.T) {
+	heavy := comm.Set{
+		{ID: 1, Src: mesh.Coord{U: 1, V: 1}, Dst: mesh.Coord{U: 1, V: 2}, Rate: 3},
+		{ID: 2, Src: mesh.Coord{U: 1, V: 1}, Dst: mesh.Coord{U: 1, V: 2}, Rate: 3},
+	}
+	inst, err := NewInstance(1, 2, power.Figure2(), heavy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := inst.Solve("OPT"); err == nil {
+		t.Error("OPT on infeasible instance did not error")
+	}
+}

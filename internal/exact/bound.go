@@ -1,0 +1,72 @@
+package exact
+
+import (
+	"repro/internal/comm"
+	"repro/internal/mesh"
+	"repro/internal/power"
+)
+
+// IdealShareLowerBound computes the routing-independent lower bound used
+// in the proofs of Theorems 1 and 2: for every diagonal family d and index
+// k, the traffic K^(d)_k of all communications of direction d crossing
+// from D^(d)_k to D^(d)_{k+1} is spread ideally (equally) over every link
+// of the whole mesh between those diagonals, and only the convex
+// continuous dynamic power is charged. Every routing — single- or
+// multi-path, even the unrestricted max-MP rule — consumes at least this
+// much dynamic power.
+func IdealShareLowerBound(m *mesh.Mesh, model power.Model, set comm.Set) float64 {
+	cont := model
+	cont.Freqs = nil
+	total := 0.0
+	for _, d := range []mesh.Quadrant{mesh.DirSE, mesh.DirSW, mesh.DirNW, mesh.DirNE} {
+		for k := 1; k <= m.MaxDiagIndex()-1; k++ {
+			traffic := 0.0
+			for _, c := range set {
+				if c.Direction() != d {
+					continue
+				}
+				ksrc := m.DiagIndex(d, c.Src)
+				ksnk := m.DiagIndex(d, c.Dst)
+				if ksrc <= k && k < ksnk {
+					traffic += c.Rate
+				}
+			}
+			if traffic == 0 {
+				continue
+			}
+			n := len(m.DiagonalLinks(d, k))
+			if n == 0 {
+				continue
+			}
+			total += float64(n) * cont.Dynamic(traffic/float64(n))
+		}
+	}
+	return total
+}
+
+// MinActiveLinks returns a lower bound on the number of active links of
+// any routing: each core that originates traffic needs at least one
+// outgoing active link, each sink one incoming, and globally at least
+// max over communications of their length links must be active. The bound
+// multiplied by Pleak complements IdealShareLowerBound for models with
+// static power.
+func MinActiveLinks(set comm.Set) int {
+	srcs := make(map[mesh.Coord]bool)
+	dsts := make(map[mesh.Coord]bool)
+	longest := 0
+	for _, c := range set {
+		srcs[c.Src] = true
+		dsts[c.Dst] = true
+		if l := c.Length(); l > longest {
+			longest = l
+		}
+	}
+	n := len(srcs)
+	if len(dsts) > n {
+		n = len(dsts)
+	}
+	if longest > n {
+		n = longest
+	}
+	return n
+}

@@ -1,0 +1,146 @@
+// Package exact computes optimal single-path (1-MP) routings of small
+// instances by branch-and-bound, plus the ideal-sharing lower bound used
+// in the proofs of Theorems 1 and 2. The paper leaves "compute the optimal
+// solution for small problem instances" as future work (Section 7); this
+// package provides it as a baseline so the heuristics' absolute quality
+// can be measured in tests and ablation benches.
+package exact
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/comm"
+	"repro/internal/mesh"
+	"repro/internal/power"
+	"repro/internal/route"
+)
+
+// MaxStates bounds the number of branch-and-bound nodes explored before
+// Solve gives up, protecting tests from exponential blow-ups.
+const MaxStates = 5_000_000
+
+// Solve returns an optimal 1-MP routing of the communication set, or
+// feasible=false if no single-path routing satisfies the bandwidth
+// constraint. An error is returned only for malformed instances or when
+// the search exceeds MaxStates.
+func Solve(m *mesh.Mesh, model power.Model, set comm.Set) (route.Routing, bool, error) {
+	if err := set.Validate(m); err != nil {
+		return route.Routing{}, false, err
+	}
+	// Heaviest first: conflicts surface near the root, pruning earlier.
+	order := set.Sorted(comm.ByWeightDesc)
+	paths := make([][]route.Path, len(order))
+	for i, c := range order {
+		enum := m.EnumeratePaths(c.Src, c.Dst)
+		paths[i] = make([]route.Path, len(enum))
+		for j, p := range enum {
+			paths[i][j] = route.Path(p)
+		}
+	}
+
+	b := &bb{m: m, model: model, order: order, paths: paths,
+		loads: route.NewLoadTracker(m), bestPower: math.Inf(1)}
+	b.choice = make([]int, len(order))
+	b.bestChoice = make([]int, len(order))
+	b.search(0)
+	if b.states >= MaxStates {
+		return route.Routing{}, false, fmt.Errorf("exact: search exceeded %d states", MaxStates)
+	}
+	if math.IsInf(b.bestPower, 1) {
+		return route.Routing{}, false, nil
+	}
+	flows := make([]route.Flow, len(order))
+	for i, c := range order {
+		flows[i] = route.Flow{Comm: c, Path: paths[i][b.bestChoice[i]]}
+	}
+	return route.Routing{Mesh: m, Flows: flows}, true, nil
+}
+
+type bb struct {
+	m          *mesh.Mesh
+	model      power.Model
+	order      comm.Set
+	paths      [][]route.Path
+	loads      *route.LoadTracker
+	choice     []int
+	bestChoice []int
+	bestPower  float64
+	states     int
+}
+
+func (b *bb) search(i int) {
+	if b.states >= MaxStates {
+		return
+	}
+	b.states++
+	if i == len(b.order) {
+		breakdown, err := b.loads.Power(b.model)
+		if err != nil {
+			return // infeasible leaf
+		}
+		if p := breakdown.Total(); p < b.bestPower {
+			b.bestPower = p
+			copy(b.bestChoice, b.choice)
+		}
+		return
+	}
+	if b.lowerBound(i) >= b.bestPower {
+		return
+	}
+	c := b.order[i]
+	for j, p := range b.paths[i] {
+		if b.overloads(p, c.Rate) {
+			continue
+		}
+		b.loads.AddPath(p, c.Rate)
+		b.choice[i] = j
+		b.search(i + 1)
+		b.loads.AddPath(p, -c.Rate)
+	}
+}
+
+// overloads reports whether adding rate along p violates bandwidth.
+func (b *bb) overloads(p route.Path, rate float64) bool {
+	for _, l := range p {
+		if b.loads.Load(l)+rate > b.model.MaxBW+1e-9 {
+			return true
+		}
+	}
+	return false
+}
+
+// lowerBound returns an admissible bound on the best completion of the
+// current partial routing: the static power of already-active links plus
+// the continuous-relaxation dynamic power of the current loads, plus for
+// every unrouted communication the cheapest continuous dynamic increment
+// over its paths evaluated at the current loads. Convexity of the
+// continuous curve makes each term a true lower bound (increments only
+// grow as loads accumulate), and the continuous curve never exceeds the
+// discrete one since the selected frequency is at least the load.
+func (b *bb) lowerBound(i int) float64 {
+	cont := b.model
+	cont.Freqs = nil // continuous relaxation
+	lb := 0.0
+	for id := 0; id < b.m.LinkIDSpace(); id++ {
+		if load := b.loads.LoadID(id); load > 0 {
+			lb += cont.Pleak + cont.Dynamic(load)
+		}
+	}
+	for ; i < len(b.order); i++ {
+		c := b.order[i]
+		best := math.Inf(1)
+		for _, p := range b.paths[i] {
+			inc := 0.0
+			for _, l := range p {
+				load := b.loads.Load(l)
+				inc += cont.Dynamic(load+c.Rate) - cont.Dynamic(load)
+			}
+			if inc < best {
+				best = inc
+			}
+		}
+		lb += best
+	}
+	return lb
+}

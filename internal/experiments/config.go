@@ -1,0 +1,174 @@
+// Package experiments regenerates every figure of the paper's Section 6
+// evaluation plus the Section 4 theory plots: declarative panel
+// configurations (one per figure panel), a parallel trial runner, and the
+// §6.4 summary statistics. cmd/experiments and the repository benchmarks
+// are thin wrappers over this package.
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/comm"
+)
+
+// Workload describes how one instance of a panel point is drawn.
+type Workload struct {
+	// N is the number of communications.
+	N int
+	// WMin and WMax bound the uniform weight distribution (Mb/s).
+	WMin, WMax float64
+	// Length, when non-zero, forces every communication to that exact
+	// Manhattan length (the Section 6.3 sweeps).
+	Length int
+}
+
+// Point is one x-position of a panel.
+type Point struct {
+	X float64
+	W Workload
+}
+
+// Panel configures one figure panel: an x-sweep of workloads evaluated by
+// all heuristics over Trials random instances per point.
+type Panel struct {
+	ID     string
+	Title  string
+	XLabel string
+	Points []Point
+	// Trials is the number of random communication sets per point
+	// (the paper used 50 000; defaults are far smaller, see DefaultTrials).
+	Trials int
+	// Seed derives all per-trial RNG streams.
+	Seed int64
+	// Continuous switches to the continuous-frequency ablation model.
+	Continuous bool
+	// Order overrides the processing order of the order-sensitive
+	// heuristics (ablation; zero value is the paper's weight-descending).
+	Order comm.Order
+}
+
+// DefaultTrials is the per-point trial count used when a panel leaves
+// Trials at zero. The paper averages 50 000 sets per point; 400 keeps the
+// full suite under a few minutes on a laptop while preserving the curve
+// shapes.
+const DefaultTrials = 400
+
+// Figure7a is the small-communications sweep of §6.1.1:
+// δ ~ U[100,1500] Mb/s, n from 5 to 140.
+func Figure7a() Panel {
+	return sweepN("fig7a", "Figure 7(a): sensitivity to #comms, small communications",
+		100, 1500, []int{5, 10, 20, 30, 40, 50, 60, 70, 80, 90, 100, 110, 120, 130, 140})
+}
+
+// Figure7b is the mixed-communications sweep of §6.1.2:
+// δ ~ U[100,2500], n from 5 to 70.
+func Figure7b() Panel {
+	return sweepN("fig7b", "Figure 7(b): sensitivity to #comms, mixed communications",
+		100, 2500, []int{5, 10, 15, 20, 25, 30, 35, 40, 45, 50, 55, 60, 65, 70})
+}
+
+// Figure7c is the big-communications sweep of §6.1.3:
+// δ ~ U[2500,3500], n from 2 to 30.
+func Figure7c() Panel {
+	return sweepN("fig7c", "Figure 7(c): sensitivity to #comms, big communications",
+		2500, 3500, []int{2, 4, 6, 8, 10, 12, 14, 16, 18, 20, 22, 24, 26, 28, 30})
+}
+
+func sweepN(id, title string, wmin, wmax float64, ns []int) Panel {
+	p := Panel{ID: id, Title: title, XLabel: "number of communications", Seed: 1}
+	for _, n := range ns {
+		p.Points = append(p.Points, Point{X: float64(n), W: Workload{N: n, WMin: wmin, WMax: wmax}})
+	}
+	return p
+}
+
+// Figure8a sweeps the average weight with 10 communications (§6.2.1).
+func Figure8a() Panel {
+	return sweepWeight("fig8a", "Figure 8(a): sensitivity to size, few communications (n=10)",
+		10, 100, 3500)
+}
+
+// Figure8b sweeps the average weight with 20 communications (§6.2.2).
+func Figure8b() Panel {
+	return sweepWeight("fig8b", "Figure 8(b): sensitivity to size, some communications (n=20)",
+		20, 100, 3500)
+}
+
+// Figure8c sweeps the average weight with 40 communications (§6.2.3);
+// the paper's x-axis stops near 1800 where everything fails.
+func Figure8c() Panel {
+	return sweepWeight("fig8c", "Figure 8(c): sensitivity to size, numerous communications (n=40)",
+		40, 100, 1800)
+}
+
+// weightBand is the relative half-width of the weight distribution around
+// the swept average: δ ~ U[0.9·avg, 1.1·avg]. The paper plots against the
+// average weight without stating the spread; a narrow band reproduces its
+// sharp n-flows-per-link feasibility cliffs (e.g. the drop at 1751 Mb/s
+// where two communications can no longer share a 3.5 Gb/s link).
+const weightBand = 0.10
+
+func sweepWeight(id, title string, n int, lo, hi float64) Panel {
+	p := Panel{ID: id, Title: title, XLabel: "average weight (Mb/s)", Seed: 2}
+	for avg := lo; avg <= hi; avg += 200 {
+		p.Points = append(p.Points, Point{
+			X: avg,
+			W: Workload{N: n, WMin: avg * (1 - weightBand), WMax: avg * (1 + weightBand)},
+		})
+	}
+	return p
+}
+
+// Figure9a sweeps the communication length with 100 small communications
+// (§6.3.1): δ ~ U[200,800].
+func Figure9a() Panel {
+	return sweepLength("fig9a", "Figure 9(a): sensitivity to length, numerous small communications (n=100)",
+		100, 200, 800)
+}
+
+// Figure9b sweeps the length with 25 mid-weighted communications (§6.3.2):
+// δ ~ U[100,3500].
+func Figure9b() Panel {
+	return sweepLength("fig9b", "Figure 9(b): sensitivity to length, some mixed communications (n=25)",
+		25, 100, 3500)
+}
+
+// Figure9c sweeps the length with 12 big communications (§6.3.3):
+// δ ~ U[2700,3300].
+func Figure9c() Panel {
+	return sweepLength("fig9c", "Figure 9(c): sensitivity to length, few big communications (n=12)",
+		12, 2700, 3300)
+}
+
+func sweepLength(id, title string, n int, wmin, wmax float64) Panel {
+	p := Panel{ID: id, Title: title, XLabel: "average length (hops)", Seed: 3}
+	for ell := 2; ell <= 14; ell++ {
+		p.Points = append(p.Points, Point{
+			X: float64(ell),
+			W: Workload{N: n, WMin: wmin, WMax: wmax, Length: ell},
+		})
+	}
+	return p
+}
+
+// Panels returns every figure panel keyed by ID.
+func Panels() map[string]Panel {
+	out := make(map[string]Panel)
+	for _, p := range []Panel{
+		Figure7a(), Figure7b(), Figure7c(),
+		Figure8a(), Figure8b(), Figure8c(),
+		Figure9a(), Figure9b(), Figure9c(),
+	} {
+		out[p.ID] = p
+	}
+	return out
+}
+
+// PanelByID looks a panel up by its identifier.
+func PanelByID(id string) (Panel, error) {
+	p, ok := Panels()[id]
+	if !ok {
+		return Panel{}, fmt.Errorf("experiments: unknown panel %q", id)
+	}
+	return p, nil
+}

@@ -1,0 +1,111 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/tables"
+)
+
+// Tables renders a panel result as the two tables matching the paper's
+// two y-axes: normalized power inverse and failure ratio, one row per
+// x-value, one column per heuristic.
+func (r Result) Tables() (normPower, failures *tables.Table) {
+	headers := append([]string{r.Panel.XLabel}, HeuristicNames...)
+	normPower = tables.New(r.Panel.Title+" — normalized power inverse", headers...)
+	failures = tables.New(r.Panel.Title+" — failure ratio", headers...)
+	for pi, x := range r.X {
+		np := make([]float64, 0, len(r.Series))
+		fr := make([]float64, 0, len(r.Series))
+		for _, s := range r.Series {
+			np = append(np, s.NormPowerInv[pi])
+			fr = append(fr, s.FailureRatio[pi])
+		}
+		label := fmt.Sprintf("%g", x)
+		normPower.AddFloatRow(label, 3, np...)
+		failures.AddFloatRow(label, 3, fr...)
+	}
+	return normPower, failures
+}
+
+// Table renders the §6.4 summary against the paper's reported values.
+func (s Summary) Table() *tables.Table {
+	t := tables.New(
+		fmt.Sprintf("Section 6.4 summary (%d instances)", s.Instances),
+		"heuristic", "success", "paper", "inv-power gain vs XY", "paper", "mean time")
+	paperSuccess := map[string]string{"XY": "0.15", "XYI": "0.46", "PR": "0.50", "BEST": "0.51"}
+	paperGain := map[string]string{"XY": "1.00", "XYI": "2.44", "PR": "2.57", "BEST": "2.95"}
+	for _, name := range HeuristicNames {
+		dur := "-"
+		if d, ok := s.MeanSolveTime[name]; ok {
+			dur = d.Round(10 * time.Microsecond).String()
+		}
+		t.AddRow(name,
+			fmt.Sprintf("%.3f", s.Success[name]), orDash(paperSuccess[name]),
+			fmt.Sprintf("%.2f", s.InvPowerGainVsXY[name]), orDash(paperGain[name]),
+			dur)
+	}
+	t.AddRow("static fraction", fmt.Sprintf("%.3f", s.StaticFraction), "≈0.143 (1/7)", "", "", "")
+	return t
+}
+
+func orDash(s string) string {
+	if s == "" {
+		return "-"
+	}
+	return s
+}
+
+// Theorem1Table renders the Theorem 1 rows.
+func Theorem1Table(rows []Theorem1Row) *tables.Table {
+	t := tables.New("Theorem 1 / Figure 4: PXY/Pmax on p×p, single src/dst (α=3)",
+		"p", "PXY", "Pmax", "ratio", "ratio/p")
+	for _, r := range rows {
+		t.AddRow(fmt.Sprintf("%d", r.P),
+			fmt.Sprintf("%.4g", r.PXY), fmt.Sprintf("%.4g", r.PMax),
+			fmt.Sprintf("%.3f", r.Ratio), fmt.Sprintf("%.4f", r.PerRow))
+	}
+	return t
+}
+
+// Lemma2Table renders the Lemma 2 rows.
+func Lemma2Table(rows []Lemma2Row, alpha float64) *tables.Table {
+	t := tables.New(
+		fmt.Sprintf("Lemma 2 / Figure 5: staircase PXY/PYX (α=%g)", alpha),
+		"p'", "PXY", "PYX", "ratio", "ratio/p'^(α−1)")
+	for _, r := range rows {
+		t.AddRow(fmt.Sprintf("%d", r.PPrime),
+			fmt.Sprintf("%.4g", r.PXY), fmt.Sprintf("%.4g", r.PYX),
+			fmt.Sprintf("%.3f", r.Ratio), fmt.Sprintf("%.4f", r.Normalized))
+	}
+	return t
+}
+
+// OpenProblemTable renders the conclusion's open-problem measurements.
+func OpenProblemTable(rows []OpenProblemRow, alpha float64) *tables.Table {
+	t := tables.New(
+		fmt.Sprintf("Open problem (§7): 1-MP gain for same source/destination traffic (α=%g)", alpha),
+		"p", "n", "PXY", "P1MP", "ratio", "optimal?")
+	for _, r := range rows {
+		opt := "heuristic"
+		if r.Exact {
+			opt = "exact"
+		}
+		t.AddRow(fmt.Sprintf("%d", r.P), fmt.Sprintf("%d", r.N),
+			fmt.Sprintf("%.4g", r.PXY), fmt.Sprintf("%.4g", r.P1MP),
+			fmt.Sprintf("%.3f", r.Ratio), opt)
+	}
+	return t
+}
+
+// SortedHeuristics returns heuristic names sorted for deterministic map
+// iteration in reports.
+func SortedHeuristics(m map[string]float64) []string {
+	names := make([]string, 0, len(m))
+	for n := range m {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,206 @@
+package experiments
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/comm"
+	"repro/internal/heur"
+	"repro/internal/mesh"
+	"repro/internal/power"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// HeuristicNames is the plotting order of the Section 6 figures.
+var HeuristicNames = []string{"XY", "SG", "IG", "TB", "XYI", "PR", "BEST"}
+
+// Series is one heuristic's curve across the panel's points: the two
+// y-axes of Figures 7–9.
+type Series struct {
+	Name string
+	// NormPowerInv is the mean of (1/P_heur)/(1/P_BEST) per point, with
+	// failed instances contributing 0 — exactly the paper's
+	// normalization.
+	NormPowerInv []float64
+	// FailureRatio is the fraction of instances with no valid solution.
+	FailureRatio []float64
+}
+
+// Result is a fully evaluated panel.
+type Result struct {
+	Panel  Panel
+	X      []float64
+	Series []Series
+}
+
+// SeriesByName returns the named series, or nil.
+func (r Result) SeriesByName(name string) *Series {
+	for i := range r.Series {
+		if r.Series[i].Name == name {
+			return &r.Series[i]
+		}
+	}
+	return nil
+}
+
+// instanceOutcome is one heuristic's evaluation on one instance.
+type instanceOutcome struct {
+	feasible bool
+	pow      float64
+	static   float64
+}
+
+// trialOutcome is the evaluation of all heuristics on one instance.
+type trialOutcome struct {
+	perHeur []instanceOutcome // indexed like heuristics slice
+}
+
+// buildHeuristics returns the concrete heuristics of a panel in
+// HeuristicNames order (BEST excluded: it is derived from the others).
+func buildHeuristics(p Panel) []heur.Heuristic {
+	return []heur.Heuristic{
+		heur.XY{},
+		heur.SG{Order: p.Order},
+		heur.IG{Order: p.Order},
+		heur.TB{Order: p.Order},
+		heur.XYI{},
+		heur.PR{},
+	}
+}
+
+// model returns the panel's power model.
+func (p Panel) model() power.Model {
+	if p.Continuous {
+		return power.KimHorowitzContinuous()
+	}
+	return power.KimHorowitz()
+}
+
+// Run evaluates the panel: Trials random instances per point (in parallel
+// across instances), every heuristic on every instance, reduced to the
+// normalized-inverse-power and failure-ratio series. Results are
+// deterministic: per-trial seeds are derived from (panel seed, point,
+// trial) and the reduction is ordered.
+func (p Panel) Run() Result {
+	trials := p.Trials
+	if trials == 0 {
+		trials = DefaultTrials
+	}
+	m := mesh.MustNew(8, 8)
+	model := p.model()
+	hs := buildHeuristics(p)
+
+	res := Result{Panel: p, X: make([]float64, len(p.Points))}
+	accPow := make([][]stats.Accumulator, len(HeuristicNames))
+	accFail := make([][]stats.Ratio, len(HeuristicNames))
+	for h := range HeuristicNames {
+		accPow[h] = make([]stats.Accumulator, len(p.Points))
+		accFail[h] = make([]stats.Ratio, len(p.Points))
+	}
+
+	for pi, pt := range p.Points {
+		res.X[pi] = pt.X
+		outcomes := make([]trialOutcome, trials)
+		parallelFor(trials, func(trial int) {
+			seed := p.Seed*1_000_003 + int64(pi)*10_007 + int64(trial)
+			set := drawSet(m, seed, pt.W)
+			outcomes[trial] = evaluateInstance(m, model, set, hs)
+		})
+		for _, out := range outcomes {
+			best := -1.0
+			for _, o := range out.perHeur {
+				if o.feasible && (best < 0 || o.pow < best) {
+					best = o.pow
+				}
+			}
+			for h, o := range out.perHeur {
+				val := 0.0
+				if o.feasible && best > 0 {
+					val = best / o.pow // (1/P)/(1/Pbest)
+				}
+				accPow[h][pi].Add(val)
+				accFail[h][pi].Add(!o.feasible)
+			}
+			bi := len(HeuristicNames) - 1 // BEST
+			if best > 0 {
+				accPow[bi][pi].Add(1)
+				accFail[bi][pi].Add(false)
+			} else {
+				accPow[bi][pi].Add(0)
+				accFail[bi][pi].Add(true)
+			}
+		}
+	}
+
+	for h, name := range HeuristicNames {
+		s := Series{Name: name,
+			NormPowerInv: make([]float64, len(p.Points)),
+			FailureRatio: make([]float64, len(p.Points))}
+		for pi := range p.Points {
+			s.NormPowerInv[pi] = accPow[h][pi].Mean()
+			s.FailureRatio[pi] = accFail[h][pi].Value()
+		}
+		res.Series = append(res.Series, s)
+	}
+	return res
+}
+
+// drawSet draws one instance of a workload.
+func drawSet(m *mesh.Mesh, seed int64, w Workload) comm.Set {
+	gen := workload.New(m, seed)
+	if w.Length > 0 {
+		return gen.TargetLength(w.N, w.WMin, w.WMax, w.Length)
+	}
+	return gen.Uniform(w.N, w.WMin, w.WMax)
+}
+
+// evaluateInstance runs every heuristic on the instance.
+func evaluateInstance(m *mesh.Mesh, model power.Model, set comm.Set, hs []heur.Heuristic) trialOutcome {
+	in := heur.Instance{Mesh: m, Model: model, Comms: set}
+	out := trialOutcome{perHeur: make([]instanceOutcome, len(hs))}
+	for i, h := range hs {
+		res, err := heur.Solve(h, in)
+		if err != nil {
+			// Malformed instances cannot occur here; treat defensively
+			// as failure.
+			continue
+		}
+		out.perHeur[i] = instanceOutcome{
+			feasible: res.Feasible,
+			pow:      res.Power.Total(),
+			static:   res.Power.Static,
+		}
+	}
+	return out
+}
+
+// parallelFor runs f(0..n-1) on up to GOMAXPROCS workers.
+func parallelFor(n int, f func(i int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			f(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				f(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}

@@ -1,0 +1,53 @@
+package heur
+
+import (
+	"fmt"
+
+	"repro/internal/route"
+)
+
+// Best is the virtual heuristic of Section 6: it runs every candidate
+// heuristic on the instance and keeps the feasible routing with the lowest
+// power. When no candidate is feasible it returns the routing with the
+// smallest maximum link load, so the caller's evaluation still reports the
+// failure in the usual way.
+type Best struct {
+	// Heuristics are the candidates; nil means All().
+	Heuristics []Heuristic
+}
+
+// Name returns "BEST".
+func (Best) Name() string { return "BEST" }
+
+// Route implements Heuristic.
+func (b Best) Route(in Instance) (route.Routing, error) {
+	hs := b.Heuristics
+	if hs == nil {
+		hs = All()
+	}
+	if len(hs) == 0 {
+		return route.Routing{}, fmt.Errorf("heur: BEST with no candidates")
+	}
+	var bestFeasible *route.Result
+	var leastOverloaded *route.Result
+	for _, h := range hs {
+		r, err := h.Route(in)
+		if err != nil {
+			return route.Routing{}, fmt.Errorf("BEST: %s: %w", h.Name(), err)
+		}
+		res := route.Evaluate(r, in.Model)
+		if res.Feasible {
+			if bestFeasible == nil || res.Power.Total() < bestFeasible.Power.Total() {
+				cp := res
+				bestFeasible = &cp
+			}
+		} else if leastOverloaded == nil || res.MaxLoad() < leastOverloaded.MaxLoad() {
+			cp := res
+			leastOverloaded = &cp
+		}
+	}
+	if bestFeasible != nil {
+		return bestFeasible.Routing, nil
+	}
+	return leastOverloaded.Routing, nil
+}

@@ -1,0 +1,95 @@
+// Package heur implements the single-path (1-MP) routing heuristics of
+// Section 5 — SG, IG, TB, XYI and PR — together with the XY baseline and
+// the virtual BEST heuristic used in the Section 6 plots.
+//
+// All heuristics are deterministic: communications are processed by
+// decreasing weight (the ordering the paper found best), ties broken by
+// communication ID, and link scans use the dense LinkID order.
+package heur
+
+import (
+	"fmt"
+
+	"repro/internal/comm"
+	"repro/internal/mesh"
+	"repro/internal/power"
+	"repro/internal/route"
+)
+
+// Instance is one routing problem: a mesh, a power model, and the
+// communication set to route.
+type Instance struct {
+	Mesh  *mesh.Mesh
+	Model power.Model
+	Comms comm.Set
+}
+
+// Validate checks the instance for well-formedness.
+func (in Instance) Validate() error {
+	if in.Mesh == nil {
+		return fmt.Errorf("heur: nil mesh")
+	}
+	if err := in.Model.Validate(); err != nil {
+		return err
+	}
+	return in.Comms.Validate(in.Mesh)
+}
+
+// Heuristic computes a single-path routing for an instance. Route always
+// returns a structurally valid routing when err is nil; the routing may
+// still be infeasible (some link over bandwidth), which is the paper's
+// notion of the heuristic failing on the instance — Solve exposes it via
+// route.Result.Feasible.
+type Heuristic interface {
+	Name() string
+	Route(in Instance) (route.Routing, error)
+}
+
+// Solve routes the instance with h and evaluates loads, feasibility and
+// power under the instance's model.
+func Solve(h Heuristic, in Instance) (route.Result, error) {
+	if err := in.Validate(); err != nil {
+		return route.Result{}, err
+	}
+	r, err := h.Route(in)
+	if err != nil {
+		return route.Result{}, err
+	}
+	return route.Evaluate(r, in.Model), nil
+}
+
+// All returns the six concrete heuristics in the paper's presentation
+// order: XY, SG, IG, TB, XYI, PR.
+func All() []Heuristic {
+	return []Heuristic{XY{}, SG{}, IG{}, TB{}, XYI{}, PR{}}
+}
+
+// ByName returns the heuristic with the given name (case-sensitive,
+// matching the paper's abbreviations) or an error; "BEST" returns Best
+// over All().
+func ByName(name string) (Heuristic, error) {
+	if name == "BEST" {
+		return Best{Heuristics: All()}, nil
+	}
+	for _, h := range All() {
+		if h.Name() == name {
+			return h, nil
+		}
+	}
+	return nil, fmt.Errorf("heur: unknown heuristic %q", name)
+}
+
+// order is the processing order used by the greedy heuristics. It is a
+// package-level variable only so the ordering-ablation benchmark can vary
+// it; production code always sees the paper's ByWeightDesc.
+func ordered(set comm.Set, o comm.Order) comm.Set { return set.Sorted(o) }
+
+// singlePathRouting assembles a Routing from one path per communication,
+// preserving the original set order.
+func singlePathRouting(m *mesh.Mesh, set comm.Set, paths map[int]route.Path) route.Routing {
+	flows := make([]route.Flow, 0, len(set))
+	for _, c := range set {
+		flows = append(flows, route.Flow{Comm: c, Path: paths[c.ID]})
+	}
+	return route.Routing{Mesh: m, Flows: flows}
+}

@@ -1,0 +1,81 @@
+package heur
+
+import (
+	"repro/internal/comm"
+	"repro/internal/mesh"
+	"repro/internal/route"
+)
+
+// IG is the Improved Greedy heuristic of Section 5.2. All communications
+// are first pre-routed virtually, each spread uniformly over every link
+// between the successive diagonals of its bounding box (the ideal sharing
+// of Figure 3). Communications are then finalized one by one in decreasing
+// weight: the pre-routing of the current communication is removed, and a
+// single path is built hop by hop, choosing at each step the link whose
+// optimistic power-to-go lower bound — the chosen link's power plus, for
+// every remaining diagonal, the power of the least-loaded admissible link
+// — is smallest. The pre-routed shares of yet-unprocessed communications
+// remain on the links, steering early choices away from future congestion.
+type IG struct {
+	Order comm.Order
+}
+
+// Name returns "IG".
+func (IG) Name() string { return "IG" }
+
+// Route implements Heuristic.
+func (h IG) Route(in Instance) (route.Routing, error) {
+	loads := route.NewLoadTracker(in.Mesh)
+	for _, c := range in.Comms {
+		addIdealShare(in.Mesh, loads, c, +1)
+	}
+
+	paths := make(map[int]route.Path, len(in.Comms))
+	for _, c := range ordered(in.Comms, h.Order) {
+		addIdealShare(in.Mesh, loads, c, -1)
+		p := igPath(in, loads, c)
+		loads.AddPath(p, c.Rate)
+		paths[c.ID] = p
+	}
+	return singlePathRouting(in.Mesh, in.Comms, paths), nil
+}
+
+// addIdealShare adds (sign=+1) or removes (sign=-1) the Figure-3 virtual
+// pre-routing of c: at every step t, δ/|frontier(t)| on each admissible
+// link between the t-th and (t+1)-th diagonals of c's bounding box.
+func addIdealShare(m *mesh.Mesh, loads *route.LoadTracker, c comm.Comm, sign float64) {
+	for t := 0; t < c.Length(); t++ {
+		frontier := m.FrontierLinks(c.Src, c.Dst, t)
+		share := sign * c.Rate / float64(len(frontier))
+		for _, l := range frontier {
+			loads.Add(l, share)
+		}
+	}
+}
+
+// igPath builds the single path for c using the power-to-go lower bound.
+func igPath(in Instance, loads *route.LoadTracker, c comm.Comm) route.Path {
+	return greedyPath(in.Mesh, loads, c, func(cand mesh.Link, next mesh.Coord) float64 {
+		// Power of the candidate link with c on it…
+		bound := loads.LinkPowerWith(in.Model, cand, c.Rate)
+		// …plus, for each remaining diagonal between next and the sink,
+		// the power of the least-loaded link c could still take.
+		rest := comm.Comm{ID: c.ID, Src: next, Dst: c.Dst, Rate: c.Rate}
+		for t := 0; t < rest.Length(); t++ {
+			best := -1.0
+			for _, l := range in.Mesh.FrontierLinks(rest.Src, rest.Dst, t) {
+				if load := loads.Load(l); best < 0 || load < best {
+					best = load
+				}
+			}
+			if best >= 0 {
+				p, err := in.Model.LinkPower(best + c.Rate)
+				if err != nil {
+					p = inf
+				}
+				bound += p
+			}
+		}
+		return bound
+	})
+}

@@ -1,0 +1,282 @@
+package heur
+
+import (
+	"sort"
+
+	"repro/internal/comm"
+	"repro/internal/mesh"
+	"repro/internal/route"
+)
+
+// PR is the Path-Remover heuristic of Section 5.5. Every communication
+// starts virtually pre-routed over all of its Manhattan paths (the ideal
+// sharing of Figure 3: at each diagonal step the rate is spread equally
+// over the admissible links). Links are then removed iteratively: take the
+// most-loaded link and, among the communications still allowed to use it,
+// the heaviest one whose path structure survives the removal; delete the
+// link from that communication's allowed set, prune links that no longer
+// lie on any remaining source-to-sink path (the paper's path-cleaning),
+// and redistribute the communication's virtual shares over the surviving
+// links. The process ends when every communication has exactly one path.
+type PR struct {
+	// StaticShares disables the share redistribution: a removed link's
+	// virtual share simply disappears instead of concentrating on the
+	// surviving links, so the tail of the removal process sees
+	// increasingly optimistic loads. Exists only for the accounting
+	// ablation (BenchmarkAblationPRShares); the paper's behaviour — and
+	// the default — is redistribution.
+	StaticShares bool
+}
+
+// Name returns "PR".
+func (PR) Name() string { return "PR" }
+
+// prState holds the shrinking path DAG of one communication.
+type prState struct {
+	c comm.Comm
+	// steps[t] lists the link IDs still allowed at diagonal step t;
+	// every listed link lies on at least one remaining src→dst path.
+	steps [][]int
+	// initSizes[t] is the original frontier width of step t, used as the
+	// share denominator under the StaticShares ablation.
+	initSizes []int
+	static    bool
+	multi     bool // true while more than one path remains
+}
+
+// Route implements Heuristic.
+func (h PR) Route(in Instance) (route.Routing, error) {
+	m := in.Mesh
+	loads := route.NewLoadTracker(m)
+
+	// commsByLink[id] lists indices into states of communications whose
+	// remaining DAG includes link id.
+	commsByLink := make(map[int][]int)
+	states := make([]*prState, len(in.Comms))
+	for i, c := range in.Comms {
+		st := &prState{c: c, steps: make([][]int, c.Length()), static: h.StaticShares}
+		for t := 0; t < c.Length(); t++ {
+			for _, l := range m.FrontierLinks(c.Src, c.Dst, t) {
+				id := m.LinkID(l)
+				st.steps[t] = append(st.steps[t], id)
+				commsByLink[id] = append(commsByLink[id], i)
+			}
+		}
+		st.initSizes = make([]int, len(st.steps))
+		for t, step := range st.steps {
+			st.initSizes[t] = len(step)
+		}
+		st.refreshMulti()
+		states[i] = st
+		st.addShares(m, loads, +1)
+	}
+
+	for anyMulti(states) {
+		progressed := false
+		for _, l := range loads.LinksByLoadDesc() {
+			id := m.LinkID(l)
+			if removeFromHeaviest(m, loads, states, commsByLink, id) {
+				progressed = true
+				break
+			}
+		}
+		if !progressed {
+			// Defensive: cannot happen, since any multi-path
+			// communication always has a removable loaded link.
+			break
+		}
+	}
+
+	paths := make(map[int]route.Path, len(in.Comms))
+	for _, st := range states {
+		p := make(route.Path, 0, len(st.steps))
+		for _, step := range st.steps {
+			p = append(p, m.LinkByID(step[0]))
+		}
+		paths[st.c.ID] = p
+	}
+	return singlePathRouting(m, in.Comms, paths), nil
+}
+
+// removeFromHeaviest tries to delete link id from the heaviest multi-path
+// communication using it, per the Section 5.5 tie-walk ("unless this
+// removal would break its last remaining path […] we consider removing the
+// second communication, and so on"). It reports whether a removal was
+// applied.
+func removeFromHeaviest(m *mesh.Mesh, loads *route.LoadTracker,
+	states []*prState, commsByLink map[int][]int, id int) bool {
+
+	users := commsByLink[id]
+	order := make([]int, 0, len(users))
+	for _, i := range users {
+		if states[i].multi {
+			order = append(order, i)
+		}
+	}
+	sort.Slice(order, func(a, b int) bool {
+		if states[order[a]].c.Rate != states[order[b]].c.Rate {
+			return states[order[a]].c.Rate > states[order[b]].c.Rate
+		}
+		return states[order[a]].c.ID < states[order[b]].c.ID
+	})
+	for _, i := range order {
+		st := states[i]
+		if !st.canRemove(m, id) {
+			continue
+		}
+		st.addShares(m, loads, -1)
+		st.remove(m, id)
+		st.addShares(m, loads, +1)
+		// Rebuild the link→comm index entries for this communication.
+		remaining := make(map[int]bool)
+		for _, step := range st.steps {
+			for _, lid := range step {
+				remaining[lid] = true
+			}
+		}
+		for lid, list := range commsByLink {
+			if remaining[lid] {
+				continue
+			}
+			for j, ci := range list {
+				if ci == i {
+					commsByLink[lid] = append(list[:j], list[j+1:]...)
+					break
+				}
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// addShares adds (sign=+1) or removes (sign=-1) the communication's
+// virtual loads: rate/|steps[t]| on each allowed link of step t, or
+// rate/initSizes[t] under the StaticShares ablation.
+func (st *prState) addShares(m *mesh.Mesh, loads *route.LoadTracker, sign float64) {
+	for t, step := range st.steps {
+		denom := float64(len(step))
+		if st.static {
+			denom = float64(st.initSizes[t])
+		}
+		share := sign * st.c.Rate / denom
+		for _, id := range step {
+			loads.Add(m.LinkByID(id), share)
+		}
+	}
+}
+
+// refreshMulti recomputes whether more than one path remains.
+func (st *prState) refreshMulti() {
+	st.multi = false
+	for _, step := range st.steps {
+		if len(step) > 1 {
+			st.multi = true
+			return
+		}
+	}
+}
+
+// canRemove reports whether deleting link id keeps at least one src→dst
+// path in the communication's DAG.
+func (st *prState) canRemove(m *mesh.Mesh, id int) bool {
+	present := false
+	for _, step := range st.steps {
+		for _, lid := range step {
+			if lid == id {
+				present = true
+			}
+		}
+	}
+	if !present {
+		return false
+	}
+	return st.reachable(m, id)
+}
+
+// reachable runs a forward sweep through the step DAG skipping link id and
+// reports whether the sink is still reached.
+func (st *prState) reachable(m *mesh.Mesh, skip int) bool {
+	if len(st.steps) == 0 {
+		return true
+	}
+	frontier := map[mesh.Coord]bool{st.c.Src: true}
+	for _, step := range st.steps {
+		next := make(map[mesh.Coord]bool)
+		for _, lid := range step {
+			if lid == skip {
+				continue
+			}
+			l := m.LinkByID(lid)
+			if frontier[l.From] {
+				next[l.To] = true
+			}
+		}
+		if len(next) == 0 {
+			return false
+		}
+		frontier = next
+	}
+	return frontier[st.c.Dst]
+}
+
+// remove deletes link id and prunes every link no longer on a src→dst
+// path (forward ∩ backward reachability), the paper's cleaning step.
+func (st *prState) remove(m *mesh.Mesh, id int) {
+	// Forward-reachable cores per diagonal level.
+	fwd := make([]map[mesh.Coord]bool, len(st.steps)+1)
+	fwd[0] = map[mesh.Coord]bool{st.c.Src: true}
+	for t, step := range st.steps {
+		fwd[t+1] = make(map[mesh.Coord]bool)
+		for _, lid := range step {
+			if lid == id {
+				continue
+			}
+			l := m.LinkByID(lid)
+			if fwd[t][l.From] {
+				fwd[t+1][l.To] = true
+			}
+		}
+	}
+	// Backward-reachable cores per level.
+	bwd := make([]map[mesh.Coord]bool, len(st.steps)+1)
+	bwd[len(st.steps)] = map[mesh.Coord]bool{st.c.Dst: true}
+	for t := len(st.steps) - 1; t >= 0; t-- {
+		bwd[t] = make(map[mesh.Coord]bool)
+		for _, lid := range st.steps[t] {
+			if lid == id {
+				continue
+			}
+			l := m.LinkByID(lid)
+			if bwd[t+1][l.To] {
+				bwd[t][l.From] = true
+			}
+		}
+	}
+	for t, step := range st.steps {
+		kept := step[:0]
+		for _, lid := range step {
+			if lid == id {
+				continue
+			}
+			l := m.LinkByID(lid)
+			if fwd[t][l.From] && bwd[t+1][l.To] {
+				kept = append(kept, lid)
+			}
+		}
+		if len(kept) == 0 {
+			panic("heur: PR pruned a communication to zero paths")
+		}
+		st.steps[t] = kept
+	}
+	st.refreshMulti()
+}
+
+func anyMulti(states []*prState) bool {
+	for _, st := range states {
+		if st.multi {
+			return true
+		}
+	}
+	return false
+}

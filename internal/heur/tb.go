@@ -1,0 +1,114 @@
+package heur
+
+import (
+	"math"
+
+	"repro/internal/comm"
+	"repro/internal/mesh"
+	"repro/internal/route"
+)
+
+var inf = math.Inf(1)
+
+// TB is the Two-Bend heuristic of Section 5.3: communications are
+// processed by decreasing weight, and for each one every Manhattan path
+// with at most two bends is tried — there are |Δu|+|Δv| of them — keeping
+// the path that yields the lowest power.
+type TB struct {
+	Order comm.Order
+}
+
+// Name returns "TB".
+func (TB) Name() string { return "TB" }
+
+// Route implements Heuristic.
+func (h TB) Route(in Instance) (route.Routing, error) {
+	loads := route.NewLoadTracker(in.Mesh)
+	paths := make(map[int]route.Path, len(in.Comms))
+	for _, c := range ordered(in.Comms, h.Order) {
+		var best route.Path
+		bestDelta := inf
+		for _, p := range TwoBendPaths(c.Src, c.Dst) {
+			delta := 0.0
+			for _, l := range p {
+				delta += loads.DeltaPower(in.Model, l, c.Rate)
+			}
+			if best == nil || delta < bestDelta {
+				best, bestDelta = p, delta
+			}
+		}
+		loads.AddPath(best, c.Rate)
+		paths[c.ID] = best
+	}
+	return singlePathRouting(in.Mesh, in.Comms, paths), nil
+}
+
+// TwoBendPaths enumerates every Manhattan path from src to dst with at
+// most two bends. For a communication spanning Δu rows and Δv columns
+// there are Δu+Δv such paths (Section 5.3): the Δv+1 horizontal-vertical-
+// horizontal paths parameterized by the column of the vertical segment
+// (whose extremes are the XY and YX paths), plus the Δu−1 vertical-
+// horizontal-vertical paths with an interior crossing row. Straight-line
+// communications have the single straight path.
+func TwoBendPaths(src, dst mesh.Coord) []route.Path {
+	du, dv := dst.U-src.U, dst.V-src.V
+	if du == 0 || dv == 0 {
+		return []route.Path{route.XY(src, dst)}
+	}
+	var out []route.Path
+	sv := sign(dv)
+	for col := src.V; ; col += sv {
+		// H to (src.U, col), V to (dst.U, col), H to dst.
+		p := append(route.Path{}, horiz(src, col)...)
+		p = append(p, vert(mesh.Coord{U: src.U, V: col}, dst.U)...)
+		p = append(p, horiz(mesh.Coord{U: dst.U, V: col}, dst.V)...)
+		out = append(out, p)
+		if col == dst.V {
+			break
+		}
+	}
+	su := sign(du)
+	for row := src.U + su; row != dst.U; row += su {
+		// V to (row, src.V), H to (row, dst.V), V to dst.
+		p := append(route.Path{}, vert(src, row)...)
+		p = append(p, horiz(mesh.Coord{U: row, V: src.V}, dst.V)...)
+		p = append(p, vert(mesh.Coord{U: row, V: dst.V}, dst.U)...)
+		out = append(out, p)
+	}
+	return out
+}
+
+// horiz returns the straight horizontal path from c to column col.
+func horiz(c mesh.Coord, col int) route.Path {
+	return route.XY(c, mesh.Coord{U: c.U, V: col})
+}
+
+// vert returns the straight vertical path from c to row row.
+func vert(c mesh.Coord, row int) route.Path {
+	return route.XY(c, mesh.Coord{U: row, V: c.V})
+}
+
+func sign(x int) int {
+	if x < 0 {
+		return -1
+	}
+	return 1
+}
+
+// twoBendCount returns the number of two-bend paths, |Δu|+|Δv|, used by
+// tests to cross-check the enumeration against Section 5.3.
+func twoBendCount(c comm.Comm) int {
+	du := abs(c.Dst.U - c.Src.U)
+	dv := abs(c.Dst.V - c.Src.V)
+	if du == 0 || dv == 0 {
+		return 1
+	}
+	return du + dv
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

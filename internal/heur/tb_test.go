@@ -1,0 +1,83 @@
+package heur
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/comm"
+	"repro/internal/mesh"
+	"repro/internal/route"
+)
+
+func pathKey(p route.Path) string {
+	key := ""
+	for _, l := range p {
+		key += l.String()
+	}
+	return key
+}
+
+// Section 5.3: there are |Δu|+|Δv| two-bend routings, all valid Manhattan
+// paths with at most two bends, all distinct.
+func TestTwoBendPathsCountAndShape(t *testing.T) {
+	m := mesh.MustNew(8, 8)
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 300; i++ {
+		src := mesh.Coord{U: rng.Intn(8) + 1, V: rng.Intn(8) + 1}
+		dst := mesh.Coord{U: rng.Intn(8) + 1, V: rng.Intn(8) + 1}
+		if src == dst {
+			continue
+		}
+		g := comm.Comm{Src: src, Dst: dst}
+		paths := TwoBendPaths(src, dst)
+		if len(paths) != twoBendCount(g) {
+			t.Fatalf("%v->%v: %d paths, want %d", src, dst, len(paths), twoBendCount(g))
+		}
+		seen := make(map[string]bool)
+		for _, p := range paths {
+			if err := p.Validate(m, src, dst); err != nil {
+				t.Fatalf("%v->%v: invalid two-bend path: %v", src, dst, err)
+			}
+			if b := p.Bends(); b > 2 {
+				t.Fatalf("%v->%v: path with %d bends", src, dst, b)
+			}
+			key := ""
+			for _, l := range p {
+				key += l.String()
+			}
+			if seen[key] {
+				t.Fatalf("%v->%v: duplicate two-bend path", src, dst)
+			}
+			seen[key] = true
+		}
+	}
+}
+
+// The XY and YX paths are always among the two-bend candidates.
+func TestTwoBendIncludesXYAndYX(t *testing.T) {
+	src, dst := mesh.Coord{U: 2, V: 3}, mesh.Coord{U: 6, V: 7}
+	paths := TwoBendPaths(src, dst)
+	wantXY, wantYX := pathKey(route.XY(src, dst)), pathKey(route.YX(src, dst))
+	foundXY, foundYX := false, false
+	for _, p := range paths {
+		switch pathKey(p) {
+		case wantXY:
+			foundXY = true
+		case wantYX:
+			foundYX = true
+		}
+	}
+	if !foundXY || !foundYX {
+		t.Errorf("two-bend candidates miss XY (%v) or YX (%v)", foundXY, foundYX)
+	}
+}
+
+func TestTwoBendStraightLine(t *testing.T) {
+	paths := TwoBendPaths(mesh.Coord{U: 3, V: 1}, mesh.Coord{U: 3, V: 6})
+	if len(paths) != 1 {
+		t.Fatalf("straight line: %d paths, want 1", len(paths))
+	}
+	if paths[0].Bends() != 0 {
+		t.Fatal("straight line path has bends")
+	}
+}

@@ -1,0 +1,21 @@
+package heur
+
+import "repro/internal/route"
+
+// XY is the baseline routing policy: every communication goes horizontally
+// first, then vertically (Section 1). It ignores loads entirely, which is
+// why it fails three times more often than the Manhattan heuristics in the
+// Section 6 study.
+type XY struct{}
+
+// Name returns "XY".
+func (XY) Name() string { return "XY" }
+
+// Route routes every communication along its XY path.
+func (XY) Route(in Instance) (route.Routing, error) {
+	paths := make(map[int]route.Path, len(in.Comms))
+	for _, c := range in.Comms {
+		paths[c.ID] = route.XY(c.Src, c.Dst)
+	}
+	return singlePathRouting(in.Mesh, in.Comms, paths), nil
+}

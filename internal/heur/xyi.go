@@ -1,0 +1,203 @@
+package heur
+
+import (
+	"repro/internal/mesh"
+	"repro/internal/power"
+	"repro/internal/route"
+)
+
+// XYI is the XY-Improver heuristic of Section 5.4. It starts from the XY
+// routing and repeatedly attacks the most-loaded link: every communication
+// crossing that link is tentatively moved off it — a vertical link is
+// replaced by the horizontal link entering the same core from the source
+// side, a horizontal link by the vertical link leaving the same core
+// toward the sink — and the modification that lowers power the most is
+// kept. When no modification on a link improves power, the link is set
+// aside and the next most-loaded link is tried; after every applied
+// improvement the link list is rebuilt and re-sorted.
+//
+// Improvement decisions use a pseudo-power that extends the model's curve
+// continuously beyond the top frequency, so the heuristic can climb down
+// from the (frequently infeasible) XY start even while some links are
+// overloaded; the final routing is still judged by the strict model.
+type XYI struct{}
+
+// Name returns "XYI".
+func (XYI) Name() string { return "XYI" }
+
+// Route implements Heuristic.
+func (XYI) Route(in Instance) (route.Routing, error) {
+	paths := make(map[int]route.Path, len(in.Comms))
+	loads := route.NewLoadTracker(in.Mesh)
+	for _, c := range in.Comms {
+		p := route.XY(c.Src, c.Dst)
+		paths[c.ID] = p
+		loads.AddPath(p, c.Rate)
+	}
+
+	list := loads.LinksByLoadDesc()
+	for len(list) > 0 {
+		l := list[0]
+		bestID := -1
+		var bestPath route.Path
+		var bestRate float64
+		var best swapEffect
+		for _, c := range in.Comms {
+			p := paths[c.ID]
+			np, ok := moveOff(p, l)
+			if !ok {
+				continue
+			}
+			e := swapEffectOf(in.Mesh, in.Model, loads, p, np, c.Rate)
+			if e.improves() && (bestID < 0 || e.betterThan(best)) {
+				bestID, bestPath, bestRate, best = c.ID, np, c.Rate, e
+			}
+		}
+		if bestID < 0 {
+			list = list[1:]
+			continue
+		}
+		loads.AddPath(paths[bestID], -bestRate)
+		loads.AddPath(bestPath, bestRate)
+		paths[bestID] = bestPath
+		list = loads.LinksByLoadDesc()
+	}
+	return singlePathRouting(in.Mesh, in.Comms, paths), nil
+}
+
+// moveOff applies the Section 5.4 local modification to a Manhattan path
+// so that it avoids link l, returning ok=false when the Manhattan
+// constraint forbids the move:
+//
+//   - l vertical: the path must enter l.To horizontally from the source
+//     side, so the last horizontal move before the hop over l is postponed
+//     to just after it (the vertical sub-column shifts one column toward
+//     the source).
+//   - l horizontal: the path must leave l.From vertically toward the sink,
+//     so the first vertical move after the hop is advanced to just before
+//     it (the horizontal sub-row shifts one row toward the sink).
+func moveOff(p route.Path, l mesh.Link) (route.Path, bool) {
+	t := -1
+	for i, pl := range p {
+		if pl == l {
+			t = i
+			break
+		}
+	}
+	if t < 0 {
+		return nil, false
+	}
+	moves := make([]mesh.Dir, len(p))
+	for i, pl := range p {
+		moves[i] = pl.Dir()
+	}
+	vertical := l.Dir() == mesh.South || l.Dir() == mesh.North
+	next := make([]mesh.Dir, 0, len(moves))
+	if vertical {
+		j := -1
+		for i := t - 1; i >= 0; i-- {
+			if moves[i] == mesh.East || moves[i] == mesh.West {
+				j = i
+				break
+			}
+		}
+		if j < 0 {
+			return nil, false
+		}
+		next = append(next, moves[:j]...)
+		next = append(next, moves[j+1:t+1]...)
+		next = append(next, moves[j])
+		next = append(next, moves[t+1:]...)
+	} else {
+		j := -1
+		for i := t + 1; i < len(moves); i++ {
+			if moves[i] == mesh.South || moves[i] == mesh.North {
+				j = i
+				break
+			}
+		}
+		if j < 0 {
+			return nil, false
+		}
+		next = append(next, moves[:t]...)
+		next = append(next, moves[j])
+		next = append(next, moves[t:j]...)
+		next = append(next, moves[j+1:]...)
+	}
+	src := p[0].From
+	return route.FromMoves(src, next), true
+}
+
+// pseudoLinkPower extends the model's link power continuously past the top
+// frequency so overloaded links remain comparable: an overloaded link is
+// charged Pleak + P0·(load/unit)^α as if a matching frequency existed.
+func pseudoLinkPower(model power.Model, load float64) float64 {
+	if load <= 0 {
+		return 0
+	}
+	f, err := model.Quantize(load)
+	if err != nil {
+		f = load
+	}
+	return model.Pleak + model.Dynamic(f)
+}
+
+// swapEffect is the consequence of replacing one path with another:
+// the change in total overload excess (Σ max(0, load−BW)) and the change
+// in pseudo power. Negative values are improvements. Effects compare
+// lexicographically — feasibility repair dominates power savings — so a
+// modification never trades a feasible link set for a cheaper overloaded
+// one.
+type swapEffect struct {
+	excess float64
+	power  float64
+}
+
+const gainEps = 1e-9
+
+// improves reports whether the effect is a strict improvement.
+func (e swapEffect) improves() bool {
+	if e.excess < -gainEps {
+		return true
+	}
+	return e.excess <= gainEps && e.power < -gainEps
+}
+
+// betterThan orders effects lexicographically (excess, then power).
+func (e swapEffect) betterThan(o swapEffect) bool {
+	if e.excess != o.excess {
+		return e.excess < o.excess
+	}
+	return e.power < o.power
+}
+
+// swapEffectOf computes the effect of rerouting a flow of the given rate
+// from path old to path new under the current loads.
+func swapEffectOf(m *mesh.Mesh, model power.Model, loads *route.LoadTracker,
+	old, new route.Path, rate float64) swapEffect {
+
+	diff := make(map[int]float64, len(old)+len(new))
+	for _, l := range old {
+		diff[m.LinkID(l)] -= rate
+	}
+	for _, l := range new {
+		diff[m.LinkID(l)] += rate
+	}
+	var e swapEffect
+	for id, d := range diff {
+		if d == 0 {
+			continue
+		}
+		before, after := loads.LoadID(id), loads.LoadID(id)+d
+		e.power += pseudoLinkPower(model, after) - pseudoLinkPower(model, before)
+		e.excess += overload(model, after) - overload(model, before)
+	}
+	return e
+}
+
+func overload(model power.Model, load float64) float64 {
+	if load > model.MaxBW {
+		return load - model.MaxBW
+	}
+	return 0
+}

@@ -1,0 +1,61 @@
+package mesh
+
+import "math/big"
+
+// PathCount returns the number of Manhattan paths between two cores.
+// By Lemma 1 this is the binomial coefficient C(Δu+Δv, Δu) where
+// Δu = |a.U−b.U| and Δv = |a.V−b.V|. The result is exact for arbitrary
+// distances (big.Int), since the count grows exponentially with the mesh
+// size: a 33×33 traversal already exceeds 2^60 paths.
+func PathCount(a, b Coord) *big.Int {
+	du := int64(abs(a.U - b.U))
+	dv := int64(abs(a.V - b.V))
+	return new(big.Int).Binomial(du+dv, du)
+}
+
+// PathCount64 returns the Manhattan path count as a uint64 and a flag
+// reporting whether the value fits without overflow. It is a convenience
+// for the small meshes used in the experiments.
+func PathCount64(a, b Coord) (n uint64, ok bool) {
+	c := PathCount(a, b)
+	if !c.IsUint64() {
+		return 0, false
+	}
+	return c.Uint64(), true
+}
+
+// EnumeratePaths returns every Manhattan path from src to dst as link
+// sequences, in lexicographic move order (at each hop the first move of the
+// quadrant before the second). Intended for small instances: the number of
+// paths is PathCount(src, dst). The exact solver and the tests use it; the
+// heuristics never do.
+func (m *Mesh) EnumeratePaths(src, dst Coord) [][]Link {
+	if src == dst {
+		return [][]Link{nil}
+	}
+	d := DirectionOf(src, dst)
+	box := BoxOf(src, dst)
+	moves := d.Moves()
+	var out [][]Link
+	var prefix []Link
+	var rec func(c Coord)
+	rec = func(c Coord) {
+		if c == dst {
+			path := make([]Link, len(prefix))
+			copy(path, prefix)
+			out = append(out, path)
+			return
+		}
+		for _, mv := range moves {
+			n := c.Step(mv)
+			if !box.Contains(n) {
+				continue
+			}
+			prefix = append(prefix, Link{From: c, To: n})
+			rec(n)
+			prefix = prefix[:len(prefix)-1]
+		}
+	}
+	rec(src)
+	return out
+}

@@ -1,0 +1,94 @@
+package mesh
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Lemma 1: the number of Manhattan paths C(1,1) → C(p,q) is
+// binom(p+q−2, p−1).
+func TestPathCountLemma1(t *testing.T) {
+	cases := []struct {
+		p, q int
+		want uint64
+	}{
+		{1, 1, 1},
+		{2, 2, 2},
+		{3, 3, 6},
+		{4, 4, 20},
+		{8, 8, 3432},
+		{2, 9, 9},
+	}
+	for _, tc := range cases {
+		n, ok := PathCount64(Coord{1, 1}, Coord{tc.p, tc.q})
+		if !ok || n != tc.want {
+			t.Errorf("PathCount(1,1 -> %d,%d) = %d (ok=%v), want %d", tc.p, tc.q, n, ok, tc.want)
+		}
+	}
+}
+
+func TestPathCountSymmetry(t *testing.T) {
+	a, b := Coord{2, 3}, Coord{6, 7}
+	if PathCount(a, b).Cmp(PathCount(b, a)) != 0 {
+		t.Error("PathCount not symmetric")
+	}
+}
+
+func TestPathCountOverflowSignal(t *testing.T) {
+	// 40×40 traversal: C(78,39) ≈ 1.1e22 > 2^64.
+	if _, ok := PathCount64(Coord{1, 1}, Coord{40, 40}); ok {
+		t.Error("expected uint64 overflow flag for 40x40 traversal")
+	}
+}
+
+// EnumeratePaths agrees with the closed-form count, and every enumerated
+// path is a valid Manhattan path.
+func TestEnumeratePathsMatchesCount(t *testing.T) {
+	m := MustNew(6, 6)
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 30; i++ {
+		src := Coord{rng.Intn(4) + 1, rng.Intn(4) + 1}
+		dst := Coord{rng.Intn(4) + 1, rng.Intn(4) + 1}
+		paths := m.EnumeratePaths(src, dst)
+		want, ok := PathCount64(src, dst)
+		if !ok {
+			t.Fatal("count overflow on tiny instance")
+		}
+		if uint64(len(paths)) != want {
+			t.Fatalf("%v->%v: enumerated %d paths, want %d", src, dst, len(paths), want)
+		}
+		seen := make(map[string]bool)
+		for _, p := range paths {
+			if len(p) != Manhattan(src, dst) {
+				t.Fatalf("%v->%v: path length %d, want %d", src, dst, len(p), Manhattan(src, dst))
+			}
+			cur := src
+			key := ""
+			for _, l := range p {
+				if l.From != cur {
+					t.Fatalf("%v->%v: disconnected path at %v", src, dst, l)
+				}
+				if !m.ValidLink(l) {
+					t.Fatalf("%v->%v: invalid link %v", src, dst, l)
+				}
+				cur = l.To
+				key += l.String()
+			}
+			if cur != dst {
+				t.Fatalf("%v->%v: path ends at %v", src, dst, cur)
+			}
+			if seen[key] {
+				t.Fatalf("%v->%v: duplicate path", src, dst)
+			}
+			seen[key] = true
+		}
+	}
+}
+
+func TestEnumeratePathsDegenerate(t *testing.T) {
+	m := MustNew(3, 3)
+	paths := m.EnumeratePaths(Coord{2, 2}, Coord{2, 2})
+	if len(paths) != 1 || len(paths[0]) != 0 {
+		t.Fatalf("self paths = %v, want one empty path", paths)
+	}
+}

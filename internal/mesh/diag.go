@@ -1,0 +1,189 @@
+package mesh
+
+import "fmt"
+
+// Quadrant is the direction d ∈ {1,2,3,4} of a communication as defined in
+// Section 3.3: it identifies which of the four diagonal families D^(d)_k a
+// shortest path traverses monotonically.
+type Quadrant int
+
+// The four communication directions of Section 3.3.
+//
+//	DirSE (d=1): u and v both non-decreasing (moves South/East).
+//	DirSW (d=2): u non-decreasing, v decreasing (moves South/West).
+//	DirNW (d=3): u and v both decreasing (moves North/West).
+//	DirNE (d=4): u decreasing, v non-decreasing (moves North/East).
+const (
+	DirSE Quadrant = 1 + iota
+	DirSW
+	DirNW
+	DirNE
+)
+
+// String names the quadrant with the paper's index.
+func (d Quadrant) String() string {
+	switch d {
+	case DirSE:
+		return "d1(SE)"
+	case DirSW:
+		return "d2(SW)"
+	case DirNW:
+		return "d3(NW)"
+	case DirNE:
+		return "d4(NE)"
+	}
+	return fmt.Sprintf("Quadrant(%d)", int(d))
+}
+
+// Moves returns the two unit directions a shortest path may take in this
+// quadrant. For degenerate (axis-aligned) communications only one of the
+// two applies; callers filter with the bounding box.
+func (d Quadrant) Moves() [2]Dir {
+	switch d {
+	case DirSE:
+		return [2]Dir{South, East}
+	case DirSW:
+		return [2]Dir{South, West}
+	case DirNW:
+		return [2]Dir{North, West}
+	case DirNE:
+		return [2]Dir{North, East}
+	}
+	panic(fmt.Sprintf("mesh: invalid quadrant %d", int(d)))
+}
+
+// DirectionOf returns the direction d_i of a communication from src to dst,
+// following the tie-breaking of Section 3.3 exactly:
+//
+//	u_src ≤ u_snk, v_src ≤ v_snk → d=1
+//	u_src ≤ u_snk, v_src > v_snk → d=2
+//	u_src > u_snk, v_src > v_snk → d=3
+//	u_src > u_snk, v_src ≤ v_snk → d=4
+func DirectionOf(src, dst Coord) Quadrant {
+	switch {
+	case src.U <= dst.U && src.V <= dst.V:
+		return DirSE
+	case src.U <= dst.U && src.V > dst.V:
+		return DirSW
+	case src.U > dst.U && src.V > dst.V:
+		return DirNW
+	default:
+		return DirNE
+	}
+}
+
+// DiagIndex returns the index k of the diagonal of family d that c belongs
+// to (Section 3.3). Every core belongs to exactly one diagonal per family,
+// with k ∈ {1, …, p+q−1}:
+//
+//	d=1: k = u + v − 1
+//	d=2: k = u + q − v
+//	d=3: k = p − u + q − v + 1
+//	d=4: k = p − u + v
+func (m *Mesh) DiagIndex(d Quadrant, c Coord) int {
+	switch d {
+	case DirSE:
+		return c.U + c.V - 1
+	case DirSW:
+		return c.U + m.q - c.V
+	case DirNW:
+		return m.p - c.U + m.q - c.V + 1
+	case DirNE:
+		return m.p - c.U + c.V
+	}
+	panic(fmt.Sprintf("mesh: invalid quadrant %d", int(d)))
+}
+
+// MaxDiagIndex returns p+q−1, the largest diagonal index of any family.
+func (m *Mesh) MaxDiagIndex() int { return m.p + m.q - 1 }
+
+// DiagonalCores returns the cores of diagonal D^(d)_k in increasing row
+// order. The result is empty when k is out of the family's range.
+func (m *Mesh) DiagonalCores(d Quadrant, k int) []Coord {
+	var out []Coord
+	for u := 1; u <= m.p; u++ {
+		for v := 1; v <= m.q; v++ {
+			c := Coord{u, v}
+			if m.DiagIndex(d, c) == k {
+				out = append(out, c)
+			}
+		}
+	}
+	return out
+}
+
+// Box is an axis-aligned rectangle of cores, used as the bounding box of a
+// communication: every Manhattan path from src to dst stays inside
+// Box of(src, dst).
+type Box struct {
+	UMin, UMax, VMin, VMax int
+}
+
+// BoxOf returns the bounding box spanned by two coordinates.
+func BoxOf(a, b Coord) Box {
+	bx := Box{UMin: a.U, UMax: b.U, VMin: a.V, VMax: b.V}
+	if bx.UMin > bx.UMax {
+		bx.UMin, bx.UMax = bx.UMax, bx.UMin
+	}
+	if bx.VMin > bx.VMax {
+		bx.VMin, bx.VMax = bx.VMax, bx.VMin
+	}
+	return bx
+}
+
+// Contains reports whether c lies inside the box.
+func (b Box) Contains(c Coord) bool {
+	return c.U >= b.UMin && c.U <= b.UMax && c.V >= b.VMin && c.V <= b.VMax
+}
+
+// Cores returns the number of cores inside the box.
+func (b Box) Cores() int { return (b.UMax - b.UMin + 1) * (b.VMax - b.VMin + 1) }
+
+// FrontierLinks returns the links a shortest path from src to dst may use
+// at step t (0-based), i.e. the links going from diagonal D^(d)_{ksrc+t} to
+// D^(d)_{ksrc+t+1} that stay inside the bounding box of the communication.
+// This is the per-step frontier of Figure 3 used by the ideal-sharing
+// lower bound and by the IG and PR heuristics. FrontierLinks panics if
+// t is outside [0, Manhattan(src,dst)).
+func (m *Mesh) FrontierLinks(src, dst Coord, t int) []Link {
+	ell := Manhattan(src, dst)
+	if t < 0 || t >= ell {
+		panic(fmt.Sprintf("mesh: frontier step %d out of range [0,%d)", t, ell))
+	}
+	d := DirectionOf(src, dst)
+	box := BoxOf(src, dst)
+	k := m.DiagIndex(d, src) + t
+	moves := d.Moves()
+	var out []Link
+	for _, c := range m.DiagonalCores(d, k) {
+		if !box.Contains(c) {
+			continue
+		}
+		for _, mv := range moves {
+			n := c.Step(mv)
+			if box.Contains(n) && m.Contains(n) {
+				out = append(out, Link{From: c, To: n})
+			}
+		}
+	}
+	return out
+}
+
+// DiagonalLinks returns every link of the mesh going from diagonal
+// D^(d)_k to D^(d)_{k+1} (no bounding box restriction). These are the link
+// sets whose cardinalities appear in the lower-bound sums of Theorems 1
+// and 2: 2k links for k < p, 2p−1 for p ≤ k < q, and 2(q+p−k−1) for k ≥ q
+// on a p×q mesh with q ≥ p (family d=1).
+func (m *Mesh) DiagonalLinks(d Quadrant, k int) []Link {
+	moves := d.Moves()
+	var out []Link
+	for _, c := range m.DiagonalCores(d, k) {
+		for _, mv := range moves {
+			n := c.Step(mv)
+			if m.Contains(n) {
+				out = append(out, Link{From: c, To: n})
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,141 @@
+// Package multipath implements the multi-path routing rules of Section
+// 3.3: s-MP split routing (a communication divided over up to s Manhattan
+// paths) and the max-MP flow pattern of Theorem 1 (Figure 4), which
+// realizes the O(p) power gain over XY for single source/destination
+// traffic. It also provides flow-to-path decomposition so flow fields can
+// be materialized as route.Routing values.
+package multipath
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/comm"
+	"repro/internal/mesh"
+	"repro/internal/power"
+	"repro/internal/route"
+)
+
+// FlowField is a link-indexed flow of a single commodity from Src to Dst.
+type FlowField struct {
+	Mesh     *mesh.Mesh
+	Src, Dst mesh.Coord
+	Rate     float64 // total rate injected at Src and absorbed at Dst
+	links    map[int]float64
+}
+
+// NewFlowField returns an empty flow field.
+func NewFlowField(m *mesh.Mesh, src, dst mesh.Coord, rate float64) *FlowField {
+	return &FlowField{Mesh: m, Src: src, Dst: dst, Rate: rate, links: make(map[int]float64)}
+}
+
+// Add adds rate to link l.
+func (f *FlowField) Add(l mesh.Link, rate float64) {
+	f.links[f.Mesh.LinkID(l)] += rate
+}
+
+// Load returns the flow on link l.
+func (f *FlowField) Load(l mesh.Link) float64 { return f.links[f.Mesh.LinkID(l)] }
+
+// Loads returns the dense per-link load vector.
+func (f *FlowField) Loads() []float64 {
+	out := make([]float64, f.Mesh.LinkIDSpace())
+	for id, x := range f.links {
+		out[id] = x
+	}
+	return out
+}
+
+// Validate checks flow conservation: Rate out of Src, Rate into Dst, and
+// in-flow equal to out-flow at every other core; all link flows must be
+// non-negative.
+func (f *FlowField) Validate() error {
+	net := make(map[mesh.Coord]float64)
+	for id, x := range f.links {
+		if x < -1e-9 {
+			return fmt.Errorf("multipath: negative flow %g on %v", x, f.Mesh.LinkByID(id))
+		}
+		l := f.Mesh.LinkByID(id)
+		net[l.From] += x
+		net[l.To] -= x
+	}
+	for c, x := range net {
+		want := 0.0
+		switch c {
+		case f.Src:
+			want = f.Rate
+		case f.Dst:
+			want = -f.Rate
+		}
+		if math.Abs(x-want) > 1e-6 {
+			return fmt.Errorf("multipath: conservation violated at %v: net %g, want %g", c, x, want)
+		}
+	}
+	return nil
+}
+
+// Power evaluates the flow's link loads under the model.
+func (f *FlowField) Power(model power.Model) (power.Breakdown, error) {
+	return model.Total(f.Loads())
+}
+
+// Decompose extracts a path decomposition of the flow: a set of flows
+// along explicit Manhattan paths whose superposition is the field. The
+// algorithm repeatedly follows the largest-rate outgoing link from Src and
+// peels off the bottleneck rate; it terminates because each round zeroes
+// at least one link. An error is returned if the field is not a valid
+// conserved flow or a walk fails to make progress (non-Manhattan cycles).
+func (f *FlowField) Decompose(id int) ([]route.Flow, error) {
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	residual := make(map[int]float64, len(f.links))
+	for lid, x := range f.links {
+		if x > 1e-12 {
+			residual[lid] = x
+		}
+	}
+	var flows []route.Flow
+	remaining := f.Rate
+	for remaining > 1e-9 {
+		var path route.Path
+		cur := f.Src
+		bottleneck := math.Inf(1)
+		for cur != f.Dst {
+			bestID, bestRate := -1, 0.0
+			for _, n := range f.Mesh.Neighbors(cur) {
+				lid := f.Mesh.LinkID(mesh.Link{From: cur, To: n})
+				if r := residual[lid]; r > bestRate+1e-12 {
+					bestID, bestRate = lid, r
+				}
+			}
+			if bestID < 0 {
+				return nil, fmt.Errorf("multipath: stuck at %v during decomposition", cur)
+			}
+			path = append(path, f.Mesh.LinkByID(bestID))
+			if bestRate < bottleneck {
+				bottleneck = bestRate
+			}
+			cur = f.Mesh.LinkByID(bestID).To
+			if len(path) > f.Mesh.NumLinks() {
+				return nil, fmt.Errorf("multipath: cyclic flow detected")
+			}
+		}
+		if bottleneck > remaining {
+			bottleneck = remaining
+		}
+		for _, l := range path {
+			lid := f.Mesh.LinkID(l)
+			residual[lid] -= bottleneck
+			if residual[lid] <= 1e-12 {
+				delete(residual, lid)
+			}
+		}
+		flows = append(flows, route.Flow{
+			Comm: comm.Comm{ID: id, Src: f.Src, Dst: f.Dst, Rate: bottleneck},
+			Path: path,
+		})
+		remaining -= bottleneck
+	}
+	return flows, nil
+}

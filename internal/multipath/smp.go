@@ -1,0 +1,81 @@
+package multipath
+
+import (
+	"fmt"
+
+	"repro/internal/comm"
+	"repro/internal/heur"
+	"repro/internal/mesh"
+	"repro/internal/power"
+	"repro/internal/route"
+)
+
+// EqualSplit is an s-MP routing heuristic (the multi-path extension the
+// paper's conclusion calls for): every communication is split into S equal
+// fragments, and the fragment stream is routed by an inner single-path
+// heuristic, so different fragments of one communication may take
+// different Manhattan paths and the per-link pressure drops by up to S.
+type EqualSplit struct {
+	// S is the maximum number of paths per communication (s of s-MP).
+	S int
+	// Inner is the 1-MP heuristic applied to the fragment set; nil means
+	// the SG greedy.
+	Inner heur.Heuristic
+}
+
+// Name returns e.g. "2MP(SG)".
+func (e EqualSplit) Name() string {
+	inner := e.Inner
+	if inner == nil {
+		inner = heur.SG{}
+	}
+	return fmt.Sprintf("%dMP(%s)", e.S, inner.Name())
+}
+
+// Route splits, routes the fragments with the inner heuristic, and
+// reassembles a multi-path routing carrying the original communication
+// IDs. The returned routing satisfies Validate(set, S).
+func (e EqualSplit) Route(m *mesh.Mesh, model power.Model, set comm.Set) (route.Routing, error) {
+	if e.S < 1 {
+		return route.Routing{}, fmt.Errorf("multipath: split count %d < 1", e.S)
+	}
+	inner := e.Inner
+	if inner == nil {
+		inner = heur.SG{}
+	}
+	// Fragment with fresh IDs; remember the original ID of each fragment.
+	frags := make(comm.Set, 0, len(set)*e.S)
+	origID := make(map[int]int)
+	next := 0
+	for _, c := range set {
+		parts, err := c.SplitEqual(e.S)
+		if err != nil {
+			return route.Routing{}, err
+		}
+		for _, p := range parts {
+			origID[next] = c.ID
+			p.ID = next
+			frags = append(frags, p)
+			next++
+		}
+	}
+	r, err := inner.Route(heur.Instance{Mesh: m, Model: model, Comms: frags})
+	if err != nil {
+		return route.Routing{}, err
+	}
+	flows := make([]route.Flow, len(r.Flows))
+	for i, fl := range r.Flows {
+		fl.Comm.ID = origID[fl.Comm.ID]
+		flows[i] = fl
+	}
+	return route.Routing{Mesh: m, Flows: flows}, nil
+}
+
+// Solve routes and evaluates in one call.
+func (e EqualSplit) Solve(m *mesh.Mesh, model power.Model, set comm.Set) (route.Result, error) {
+	r, err := e.Route(m, model, set)
+	if err != nil {
+		return route.Result{}, err
+	}
+	return route.Evaluate(r, model), nil
+}

@@ -1,0 +1,75 @@
+// Package noc is a discrete-event, packet-level network-on-chip simulator
+// used to cross-validate routings produced by the heuristics: packets are
+// injected periodically at each communication's requested rate, forwarded
+// store-and-forward along the routing's explicit paths (table-based source
+// routing), and serialized on links whose frequencies are the DVFS
+// assignments of the power model. The paper's evaluation is analytic
+// (link loads → power); this substrate replays the same routings
+// dynamically and checks that delivered throughput, link utilization and
+// energy agree with the analytic figures.
+//
+// Deadlock freedom: routes are fixed minimal paths and forwarding is
+// store-and-forward with unbounded FIFOs, so the simulator cannot
+// deadlock; the paper assumes an equivalent deadlock-avoidance mechanism
+// (resource ordering [5] or escape channels [3]).
+package noc
+
+import "container/heap"
+
+// eventKind discriminates simulator events.
+type eventKind int
+
+const (
+	evInject   eventKind = iota // a flow emits its next packet
+	evLinkFree                  // a link finishes transmitting (tail gone)
+	evArrive                    // a packet (head) reaches its next router
+)
+
+// event is one scheduled simulator occurrence. seq breaks time ties so
+// the simulation is fully deterministic.
+type event struct {
+	time float64
+	seq  int64
+	kind eventKind
+	pkt  *packet
+	flow int // evInject: index of the flow
+	link int // evLinkFree: link id
+}
+
+// eventQueue is a binary min-heap of events ordered by (time, seq).
+type eventQueue struct {
+	items []*event
+	seq   int64
+}
+
+func (q *eventQueue) Len() int { return len(q.items) }
+
+func (q *eventQueue) Less(i, j int) bool {
+	if q.items[i].time != q.items[j].time {
+		return q.items[i].time < q.items[j].time
+	}
+	return q.items[i].seq < q.items[j].seq
+}
+
+func (q *eventQueue) Swap(i, j int) { q.items[i], q.items[j] = q.items[j], q.items[i] }
+
+func (q *eventQueue) Push(x any) { q.items = append(q.items, x.(*event)) }
+
+func (q *eventQueue) Pop() any {
+	old := q.items
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	q.items = old[:n-1]
+	return it
+}
+
+// push schedules an event, stamping the tie-break sequence number.
+func (q *eventQueue) push(e *event) {
+	e.seq = q.seq
+	q.seq++
+	heap.Push(q, e)
+}
+
+// pop removes the earliest event; callers must check Len first.
+func (q *eventQueue) pop() *event { return heap.Pop(q).(*event) }

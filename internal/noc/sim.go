@@ -1,0 +1,381 @@
+package noc
+
+import (
+	"fmt"
+
+	"repro/internal/power"
+	"repro/internal/route"
+)
+
+// Switching selects the forwarding discipline of the routers.
+type Switching int
+
+const (
+	// StoreAndForward retransmits a packet only after it has fully
+	// arrived at a router.
+	StoreAndForward Switching = iota
+	// CutThrough pipelines: the next link may start forwarding as soon
+	// as the head flit arrives, one flit time after the upstream link
+	// started, while the tail constrains the downstream completion —
+	// the latency model of wormhole/virtual-cut-through networks with
+	// ample buffering (the paper's routers; deadlock handled by escape
+	// channels [3] / resource ordering [5]).
+	CutThrough
+)
+
+// String names the switching mode.
+func (s Switching) String() string {
+	if s == CutThrough {
+		return "cut-through"
+	}
+	return "store-and-forward"
+}
+
+// Config tunes a simulation run. Rates are in Mb/s = bits/µs, times in µs.
+type Config struct {
+	// PacketBits is the packet size; all flows use fixed-size packets.
+	// Zero means 2048 bits.
+	PacketBits float64
+	// FlitBits is the flit size used by CutThrough switching. Zero
+	// means 128 bits.
+	FlitBits float64
+	// Horizon is the simulated duration in µs. Zero means 500 µs.
+	Horizon float64
+	// Warmup discards latency/throughput samples injected before this
+	// time (µs), letting queues reach steady state. Zero keeps all.
+	Warmup float64
+	// Switching selects store-and-forward (default) or cut-through.
+	Switching Switching
+	// BufferPackets bounds each link's input queue; a link refuses to
+	// accept a packet whose *next* hop's queue is full, modelling
+	// credit-based backpressure. Zero means unbounded buffers. With
+	// finite buffers, routings whose channel dependency graph is cyclic
+	// (see internal/deadlock) can genuinely deadlock; Stats.Stalled
+	// reports packets frozen at the horizon.
+	BufferPackets int
+}
+
+func (c *Config) setDefaults() {
+	if c.PacketBits == 0 {
+		c.PacketBits = 2048
+	}
+	if c.FlitBits == 0 {
+		c.FlitBits = 128
+	}
+	if c.Horizon == 0 {
+		c.Horizon = 500
+	}
+}
+
+// packet is one in-flight packet.
+type packet struct {
+	flow     int     // index into Simulator.flows
+	hop      int     // next path hop to traverse
+	injected float64 // injection time
+	bits     float64
+	// prevDone is the time the packet's tail cleared the previous link;
+	// cut-through uses it to constrain downstream completions.
+	prevDone float64
+}
+
+// numClasses is the number of virtual channels per physical link: class 0
+// is the escape channel, class 1 the adaptive one (internal/deadlock).
+// Runs without a class assignment use class 0 only.
+const numClasses = 2
+
+// linkState is the per-link serialization state. Queues, buffers and
+// blocked-upstream lists are per virtual channel; the physical serializer
+// (busy flag, frequency) is shared.
+type linkState struct {
+	freq     float64 // assigned DVFS frequency (Mb/s); 0 = unused link
+	busy     bool
+	busyTime float64
+	queues   [numClasses][]*packet
+	// reserved counts in-flight packets that have claimed a buffer slot
+	// but not yet arrived (finite-buffer mode).
+	reserved [numClasses]int
+	// relayQueued counts queued transit packets (hop > 0): only these
+	// occupy the router's finite buffer; freshly injected packets wait
+	// in the source NIC's unbounded queue.
+	relayQueued [numClasses]int
+	// waiters lists upstream link ids blocked on this VC's buffer.
+	waiters [numClasses][]int
+}
+
+func (ls *linkState) queuedPackets() int {
+	n := 0
+	for c := 0; c < numClasses; c++ {
+		n += len(ls.queues[c])
+	}
+	return n
+}
+
+// Simulator replays a routing as discrete packet traffic.
+type Simulator struct {
+	routing route.Routing
+	model   power.Model
+	cfg     Config
+	links   []linkState
+	tracer  *Tracer
+	// classes[f][h] is the virtual-channel class of flow f's h-th hop;
+	// nil means everything rides class 0.
+	classes [][]int
+}
+
+// AssignClasses installs a per-hop virtual-channel schedule, e.g. the
+// escape-channel assignment of internal/deadlock (Assignment.Classes).
+// Each flow's slice must cover its path; classes are 0 (escape) or 1
+// (adaptive). Call before Run; pass nil to revert to single-class
+// operation.
+func (s *Simulator) AssignClasses(classes [][]int) error {
+	if classes == nil {
+		s.classes = nil
+		return nil
+	}
+	if len(classes) != len(s.routing.Flows) {
+		return fmt.Errorf("noc: %d class vectors for %d flows", len(classes), len(s.routing.Flows))
+	}
+	for f, cs := range classes {
+		if len(cs) != len(s.routing.Flows[f].Path) {
+			return fmt.Errorf("noc: flow %d: %d classes for %d hops", f, len(cs), len(s.routing.Flows[f].Path))
+		}
+		for h, c := range cs {
+			if c < 0 || c >= numClasses {
+				return fmt.Errorf("noc: flow %d hop %d: class %d out of range", f, h, c)
+			}
+		}
+	}
+	s.classes = classes
+	return nil
+}
+
+// classOf returns the VC class of a flow's hop.
+func (s *Simulator) classOf(flow, hop int) int {
+	if s.classes == nil {
+		return 0
+	}
+	return s.classes[flow][hop]
+}
+
+// New prepares a simulator for the routing: per-link DVFS frequencies are
+// assigned by quantizing the routing's analytic loads under the model,
+// exactly as the system would configure the links. An error is returned
+// when the routing is infeasible (some load above the top frequency) —
+// such routings count as failures in the paper and have no operating
+// point to simulate.
+func New(r route.Routing, model power.Model, cfg Config) (*Simulator, error) {
+	cfg.setDefaults()
+	loads := r.Loads()
+	links := make([]linkState, r.Mesh.LinkIDSpace())
+	for id, load := range loads {
+		if load == 0 {
+			continue
+		}
+		f, err := model.Quantize(load)
+		if err != nil {
+			return nil, fmt.Errorf("noc: link %v: %w", r.Mesh.LinkByID(id), err)
+		}
+		links[id].freq = f
+	}
+	return &Simulator{routing: r, model: model, cfg: cfg, links: links}, nil
+}
+
+// Run executes the simulation until the horizon and returns the collected
+// statistics. Run may be called once per Simulator.
+func (s *Simulator) Run() *Stats {
+	st := newStats(s.routing, s.cfg)
+	q := &eventQueue{}
+
+	// Stagger flow start phases deterministically across one packet
+	// period so same-rate flows do not inject in lockstep.
+	for i, fl := range s.routing.Flows {
+		period := s.cfg.PacketBits / fl.Comm.Rate
+		phase := period * float64(i%7) / 7.0
+		q.push(&event{time: phase, kind: evInject, flow: i})
+	}
+
+	for q.Len() > 0 {
+		e := q.pop()
+		if e.time > s.cfg.Horizon {
+			break
+		}
+		switch e.kind {
+		case evInject:
+			fl := s.routing.Flows[e.flow]
+			pkt := &packet{flow: e.flow, injected: e.time, bits: s.cfg.PacketBits, prevDone: e.time}
+			s.tracer.record(TraceEvent{Time: e.time, Kind: "inject", CommID: fl.Comm.ID})
+			s.arrive(q, st, pkt, e.time)
+			period := s.cfg.PacketBits / fl.Comm.Rate
+			q.push(&event{time: e.time + period, kind: evInject, flow: e.flow})
+		case evArrive:
+			s.tracer.record(TraceEvent{
+				Time: e.time, Kind: "hop",
+				CommID: s.routing.Flows[e.pkt.flow].Comm.ID, Hop: e.pkt.hop,
+			})
+			s.arrive(q, st, e.pkt, e.time)
+		case evLinkFree:
+			s.links[e.link].busy = false
+			s.startNext(q, e.link, e.time)
+		}
+	}
+	s.finalize(st)
+	return st
+}
+
+// arrive handles a packet reaching a router: deliver it (the event time of
+// a final arrival is the tail's), or queue it on the next link of its
+// path.
+func (s *Simulator) arrive(q *eventQueue, st *Stats, pkt *packet, now float64) {
+	fl := s.routing.Flows[pkt.flow]
+	if pkt.hop == len(fl.Path) {
+		s.tracer.record(TraceEvent{
+			Time: now, Kind: "deliver", CommID: fl.Comm.ID,
+			Hop: pkt.hop, Lat: now - pkt.injected,
+		})
+		st.deliver(fl.Comm.ID, pkt, now)
+		return
+	}
+	id := s.routing.Mesh.LinkID(fl.Path[pkt.hop])
+	class := s.classOf(pkt.flow, pkt.hop)
+	if pkt.hop > 0 && s.cfg.BufferPackets > 0 {
+		s.links[id].reserved[class]-- // the claimed slot is now occupied
+		s.links[id].relayQueued[class]++
+	}
+	s.links[id].queues[class] = append(s.links[id].queues[class], pkt)
+	s.startNext(q, id, now)
+}
+
+// nextHopTarget returns the link and VC class the packet will need after
+// the given hop, or link −1 when that hop delivers it to its sink.
+func (s *Simulator) nextHopTarget(pkt *packet) (link, class int) {
+	fl := s.routing.Flows[pkt.flow]
+	if pkt.hop+1 >= len(fl.Path) {
+		return -1, 0
+	}
+	return s.routing.Mesh.LinkID(fl.Path[pkt.hop+1]), s.classOf(pkt.flow, pkt.hop+1)
+}
+
+// hasRoom reports whether the VC buffer (link id, class) can accept one
+// more transit packet, counting queued transit packets and slots claimed
+// by in-flight ones. Source-side injections do not consume router
+// buffers.
+func (s *Simulator) hasRoom(id, class int) bool {
+	if s.cfg.BufferPackets <= 0 || id < 0 {
+		return true
+	}
+	return s.links[id].relayQueued[class]+s.links[id].reserved[class] < s.cfg.BufferPackets
+}
+
+// startNext begins transmitting a head-of-line packet if the link is idle
+// and, with finite buffers, the downstream VC buffer has room (credit
+// backpressure). Virtual channels are scanned escape-class first, so a
+// blocked adaptive queue never starves the escape network — the dynamic
+// counterpart of Duato's condition. Under store-and-forward the packet
+// reaches the next router when its tail does; under cut-through the head
+// is forwarded one flit time after service starts, while the tail cannot
+// clear this link earlier than one flit after it cleared the previous
+// one.
+func (s *Simulator) startNext(q *eventQueue, id int, now float64) {
+	ls := &s.links[id]
+	if ls.busy {
+		return
+	}
+	var pkt *packet
+	var class int
+	for c := 0; c < numClasses; c++ {
+		if len(ls.queues[c]) == 0 {
+			continue
+		}
+		head := ls.queues[c][0]
+		down, downClass := s.nextHopTarget(head)
+		if !s.hasRoom(down, downClass) {
+			// Blocked: retry when the downstream VC drains. Other
+			// classes may still proceed — that is what VCs buy.
+			s.links[down].waiters[downClass] = appendUnique(s.links[down].waiters[downClass], id)
+			continue
+		}
+		pkt, class = head, c
+		break
+	}
+	if pkt == nil {
+		return
+	}
+	downstream, downClass := s.nextHopTarget(pkt)
+	ls.queues[class] = ls.queues[class][1:]
+	ls.busy = true // set before waking waiters: the wake chain may reach this link again
+	if s.cfg.BufferPackets > 0 {
+		if pkt.hop > 0 {
+			ls.relayQueued[class]--
+		}
+		if downstream >= 0 {
+			s.links[downstream].reserved[downClass]++
+		}
+		s.wakeWaiters(q, id, class, now)
+	}
+	tx := pkt.bits / ls.freq
+	done := now + tx
+	if s.cfg.Switching == CutThrough {
+		if tail := pkt.prevDone + s.cfg.FlitBits/ls.freq; tail > done {
+			done = tail
+		}
+	}
+	ls.busyTime += done - now
+	q.push(&event{time: done, kind: evLinkFree, link: id})
+
+	next := &packet{
+		flow: pkt.flow, hop: pkt.hop + 1,
+		injected: pkt.injected, bits: pkt.bits, prevDone: done,
+	}
+	arrival := done
+	if s.cfg.Switching == CutThrough {
+		if head := now + s.cfg.FlitBits/ls.freq; head < done {
+			arrival = head
+		}
+		fl := s.routing.Flows[pkt.flow]
+		if next.hop == len(fl.Path) {
+			arrival = done // final delivery counts the tail
+		}
+	}
+	q.push(&event{time: arrival, kind: evArrive, pkt: next})
+}
+
+// wakeWaiters retries upstream links that were blocked on this VC's
+// buffer space.
+func (s *Simulator) wakeWaiters(q *eventQueue, id, class int, now float64) {
+	ls := &s.links[id]
+	if len(ls.waiters[class]) == 0 {
+		return
+	}
+	waiters := ls.waiters[class]
+	ls.waiters[class] = nil
+	for _, w := range waiters {
+		s.startNext(q, w, now)
+	}
+}
+
+func appendUnique(xs []int, x int) []int {
+	for _, v := range xs {
+		if v == x {
+			return xs
+		}
+	}
+	return append(xs, x)
+}
+
+// finalize computes utilizations, energy and stall counts.
+func (s *Simulator) finalize(st *Stats) {
+	for id := range s.links {
+		ls := &s.links[id]
+		st.Stalled += ls.queuedPackets()
+		if ls.freq == 0 {
+			continue
+		}
+		st.LinkUtilization[id] = ls.busyTime / s.cfg.Horizon
+		st.LinkFreq[id] = ls.freq
+		p := s.model.Pleak + s.model.Dynamic(ls.freq)
+		st.PowerMW += p
+		st.ActiveLinks++
+	}
+	// mW × µs = nJ.
+	st.EnergyNJ = st.PowerMW * s.cfg.Horizon
+}

@@ -1,0 +1,127 @@
+package noc
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/route"
+)
+
+// CommStats aggregates per-communication delivery statistics.
+type CommStats struct {
+	// RequestedRate is Σ of the communication's flow rates (Mb/s).
+	RequestedRate float64
+	// DeliveredBits counts bits that reached the sink after warmup.
+	DeliveredBits float64
+	// Packets counts delivered packets after warmup.
+	Packets int
+	// TotalLatency accumulates injection→delivery times (µs).
+	TotalLatency float64
+	// MaxLatency is the worst packet latency observed (µs).
+	MaxLatency float64
+}
+
+// AvgLatency returns the mean packet latency in µs (0 with no packets).
+func (c CommStats) AvgLatency() float64 {
+	if c.Packets == 0 {
+		return 0
+	}
+	return c.TotalLatency / float64(c.Packets)
+}
+
+// Stats is the outcome of a simulation run.
+type Stats struct {
+	// Horizon and Warmup echo the configuration (µs).
+	Horizon, Warmup float64
+	// PerComm maps communication ID to its delivery statistics.
+	PerComm map[int]CommStats
+	// LinkUtilization is busy-time/horizon per link id (0 for idle).
+	LinkUtilization []float64
+	// LinkFreq is the assigned DVFS frequency per link id (Mb/s).
+	LinkFreq []float64
+	// PowerMW is the total link power at the assigned frequencies.
+	PowerMW float64
+	// EnergyNJ is PowerMW × Horizon.
+	EnergyNJ float64
+	// ActiveLinks counts links carrying any traffic.
+	ActiveLinks int
+	// Stalled counts packets still sitting in link queues at the
+	// horizon. Small numbers are in-flight tails; persistent growth —
+	// or any stall with nothing delivered — indicates backpressure
+	// deadlock (finite buffers + cyclic channel dependencies).
+	Stalled int
+}
+
+func newStats(r route.Routing, cfg Config) *Stats {
+	st := &Stats{
+		Horizon:         cfg.Horizon,
+		Warmup:          cfg.Warmup,
+		PerComm:         make(map[int]CommStats),
+		LinkUtilization: make([]float64, r.Mesh.LinkIDSpace()),
+		LinkFreq:        make([]float64, r.Mesh.LinkIDSpace()),
+	}
+	for _, fl := range r.Flows {
+		cs := st.PerComm[fl.Comm.ID]
+		cs.RequestedRate += fl.Comm.Rate
+		st.PerComm[fl.Comm.ID] = cs
+	}
+	return st
+}
+
+func (st *Stats) deliver(commID int, pkt *packet, now float64) {
+	if pkt.injected < st.Warmup {
+		return
+	}
+	cs := st.PerComm[commID]
+	cs.DeliveredBits += pkt.bits
+	cs.Packets++
+	lat := now - pkt.injected
+	cs.TotalLatency += lat
+	if lat > cs.MaxLatency {
+		cs.MaxLatency = lat
+	}
+	st.PerComm[commID] = cs
+}
+
+// DeliveredRate returns the post-warmup goodput of a communication in
+// Mb/s.
+func (st *Stats) DeliveredRate(commID int) float64 {
+	window := st.Horizon - st.Warmup
+	if window <= 0 {
+		return 0
+	}
+	return st.PerComm[commID].DeliveredBits / window
+}
+
+// MeanUtilization returns the mean utilization over active links.
+func (st *Stats) MeanUtilization() float64 {
+	sum, n := 0.0, 0
+	for id, u := range st.LinkUtilization {
+		if st.LinkFreq[id] > 0 {
+			sum += u
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// Summary renders a short human-readable report: per-comm goodput versus
+// request plus aggregate link figures, in communication-ID order.
+func (st *Stats) Summary() string {
+	ids := make([]int, 0, len(st.PerComm))
+	for id := range st.PerComm {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	out := fmt.Sprintf("horizon %.0fµs, %d active links, power %.1f mW, energy %.0f nJ\n",
+		st.Horizon, st.ActiveLinks, st.PowerMW, st.EnergyNJ)
+	for _, id := range ids {
+		cs := st.PerComm[id]
+		out += fmt.Sprintf("  comm %3d: requested %7.1f Mb/s, delivered %7.1f Mb/s, avg latency %6.2f µs (max %6.2f)\n",
+			id, cs.RequestedRate, st.DeliveredRate(id), cs.AvgLatency(), cs.MaxLatency)
+	}
+	return out
+}

@@ -1,0 +1,58 @@
+package noc
+
+import (
+	"fmt"
+	"io"
+)
+
+// TraceEvent is one packet lifecycle record emitted by a traced run.
+type TraceEvent struct {
+	Time   float64 // µs
+	Kind   string  // "inject", "hop", "deliver"
+	CommID int
+	Hop    int     // hop index completed ("hop"/"deliver"); 0 for inject
+	Lat    float64 // delivery latency, µs ("deliver" only)
+}
+
+// Tracer collects packet lifecycle events during a run. Attach one with
+// Simulator.Trace before calling Run. The zero value discards nothing and
+// keeps every event in memory; cap bounds retention for long runs.
+type Tracer struct {
+	// Cap bounds the number of retained events (0 = unlimited).
+	Cap    int
+	events []TraceEvent
+	// Dropped counts events discarded after Cap was reached.
+	Dropped int
+}
+
+func (t *Tracer) record(e TraceEvent) {
+	if t == nil {
+		return
+	}
+	if t.Cap > 0 && len(t.events) >= t.Cap {
+		t.Dropped++
+		return
+	}
+	t.events = append(t.events, e)
+}
+
+// Events returns the recorded events in simulation order.
+func (t *Tracer) Events() []TraceEvent { return t.events }
+
+// WriteCSV emits the trace as CSV with a header row.
+func (t *Tracer) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "time_us,kind,comm,hop,latency_us"); err != nil {
+		return err
+	}
+	for _, e := range t.events {
+		if _, err := fmt.Fprintf(w, "%.4f,%s,%d,%d,%.4f\n",
+			e.Time, e.Kind, e.CommID, e.Hop, e.Lat); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Trace attaches a tracer to the simulator; pass nil to detach. Must be
+// called before Run.
+func (s *Simulator) Trace(t *Tracer) { s.tracer = t }

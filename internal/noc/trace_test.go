@@ -1,0 +1,96 @@
+package noc
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTracerRecordsLifecycle(t *testing.T) {
+	r, model := singleFlowRouting(t, 900)
+	sim, err := New(r, model, Config{Horizon: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tr Tracer
+	sim.Trace(&tr)
+	st := sim.Run()
+
+	injects, hops, delivers := 0, 0, 0
+	for _, e := range tr.Events() {
+		switch e.Kind {
+		case "inject":
+			injects++
+		case "hop":
+			hops++
+		case "deliver":
+			delivers++
+			if e.Lat <= 0 {
+				t.Errorf("delivery with non-positive latency: %+v", e)
+			}
+		}
+	}
+	if injects == 0 || hops == 0 || delivers == 0 {
+		t.Fatalf("lifecycle incomplete: %d injects, %d hops, %d delivers", injects, hops, delivers)
+	}
+	if delivers != st.PerComm[1].Packets {
+		t.Errorf("trace delivers %d, stats count %d", delivers, st.PerComm[1].Packets)
+	}
+	// Events are time-ordered.
+	prev := -1.0
+	for _, e := range tr.Events() {
+		if e.Time < prev {
+			t.Fatal("trace not time-ordered")
+		}
+		prev = e.Time
+	}
+}
+
+func TestTracerCapAndDrop(t *testing.T) {
+	r, model := singleFlowRouting(t, 2200)
+	sim, err := New(r, model, Config{Horizon: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := Tracer{Cap: 10}
+	sim.Trace(&tr)
+	sim.Run()
+	if len(tr.Events()) != 10 {
+		t.Errorf("retained %d events, want 10", len(tr.Events()))
+	}
+	if tr.Dropped == 0 {
+		t.Error("no drops recorded despite cap")
+	}
+}
+
+func TestTraceCSV(t *testing.T) {
+	r, model := singleFlowRouting(t, 900)
+	sim, err := New(r, model, Config{Horizon: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tr Tracer
+	sim.Trace(&tr)
+	sim.Run()
+	var b strings.Builder
+	if err := tr.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.HasPrefix(out, "time_us,kind,comm,hop,latency_us\n") {
+		t.Error("missing CSV header")
+	}
+	if !strings.Contains(out, "inject") || !strings.Contains(out, "deliver") {
+		t.Error("CSV missing event kinds")
+	}
+}
+
+// A nil tracer is safe (the default path).
+func TestNilTracerSafe(t *testing.T) {
+	r, model := singleFlowRouting(t, 900)
+	sim, err := New(r, model, Config{Horizon: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.Trace(nil)
+	sim.Run() // must not panic
+}

@@ -1,0 +1,54 @@
+package npc
+
+import "testing"
+
+// FuzzPartition checks the subset-sum DP against its own witness on
+// arbitrary inputs: whenever a partition is reported, the returned subset
+// must be valid (distinct indices, exact half sum).
+func FuzzPartition(f *testing.F) {
+	f.Add([]byte{1, 1})
+	f.Add([]byte{3, 1, 1, 2, 2, 1})
+	f.Add([]byte{100, 1, 1, 1})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		if len(raw) == 0 || len(raw) > 24 {
+			return
+		}
+		a := make([]int, len(raw))
+		sum := 0
+		for i, b := range raw {
+			a[i] = int(b%50) + 1
+			sum += a[i]
+		}
+		subset, ok := Partition(a)
+		if !ok {
+			if sum%2 == 0 && len(a) <= 16 && bruteForcePartition(a) {
+				t.Fatalf("Partition(%v) missed an existing partition", a)
+			}
+			return
+		}
+		seen := make(map[int]bool)
+		got := 0
+		for _, i := range subset {
+			if i < 0 || i >= len(a) || seen[i] {
+				t.Fatalf("Partition(%v): bad witness %v", a, subset)
+			}
+			seen[i] = true
+			got += a[i]
+		}
+		if got*2 != sum {
+			t.Fatalf("Partition(%v): witness sums to %d, want %d", a, got, sum/2)
+		}
+		// The gadget construction must accept every valid witness.
+		red, err := Build(a, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		routing, err := red.RoutingFromPartition(subset)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := routing.Validate(red.Comms, red.S); err != nil {
+			t.Fatalf("witness routing invalid: %v", err)
+		}
+	})
+}

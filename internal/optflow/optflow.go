@@ -1,0 +1,270 @@
+// Package optflow computes optimal max-MP routings under the continuous
+// power model by convex multicommodity flow optimization (Frank–Wolfe).
+// The paper bounds the max-MP optimum analytically (Theorems 1 and 2, via
+// the ideal-sharing relaxation) but never computes it; this solver closes
+// that gap, giving the heuristics an absolute baseline: any valid routing
+// — single- or multi-path — dissipates at least the optimum found here
+// (up to the reported duality gap), because max-MP is the least
+// constrained routing rule.
+//
+// The objective is the dynamic power Σ_links P0·(load/unit)^α, which is
+// convex for α > 1; static power is excluded (its link-activation term is
+// discontinuous), matching the Section 4 regime Pleak = 0 where the
+// worst-case analysis lives.
+package optflow
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/comm"
+	"repro/internal/mesh"
+	"repro/internal/power"
+)
+
+// Options tunes the Frank–Wolfe solve.
+type Options struct {
+	// MaxIters bounds the iterations (default 300).
+	MaxIters int
+	// Tolerance is the relative duality-gap target (default 1e-6).
+	Tolerance float64
+}
+
+func (o *Options) setDefaults() {
+	if o.MaxIters == 0 {
+		o.MaxIters = 300
+	}
+	if o.Tolerance == 0 {
+		o.Tolerance = 1e-6
+	}
+}
+
+// Solution is an optimal (within Gap) fractional max-MP routing.
+type Solution struct {
+	// Loads is the per-link load vector (mesh.LinkID indexed).
+	Loads []float64
+	// PerComm maps each communication's ID to its fractional flow per
+	// link id.
+	PerComm map[int]map[int]float64
+	// Power is the dynamic power of Loads under the continuous model.
+	Power float64
+	// Gap is the final relative Frank–Wolfe duality gap: the objective
+	// is within Gap·Power of the true optimum.
+	Gap float64
+	// Iters is the number of iterations performed.
+	Iters int
+}
+
+// Solve minimizes the continuous dynamic power over all fractional
+// Manhattan routings of the communication set (the max-MP rule). Discrete
+// frequency sets in the model are relaxed to their continuous envelope.
+func Solve(m *mesh.Mesh, model power.Model, set comm.Set, opts Options) (*Solution, error) {
+	opts.setDefaults()
+	if err := set.Validate(m); err != nil {
+		return nil, err
+	}
+	if model.Alpha <= 1 {
+		return nil, fmt.Errorf("optflow: alpha %g must exceed 1 for convexity", model.Alpha)
+	}
+	unit := model.FreqUnit
+	if unit == 0 {
+		unit = 1
+	}
+
+	// dyn and its derivative, per link.
+	dyn := func(x float64) float64 { return model.P0 * math.Pow(x/unit, model.Alpha) }
+	dynPrime := func(x float64) float64 {
+		if x <= 0 {
+			return 0
+		}
+		return model.P0 * model.Alpha / unit * math.Pow(x/unit, model.Alpha-1)
+	}
+
+	nLinks := m.LinkIDSpace()
+	loads := make([]float64, nLinks)
+	perComm := make([]map[int]float64, len(set))
+
+	// Initialize with the all-or-nothing assignment under zero loads
+	// (any shortest path; XY is as good as any for a starting point).
+	for i, c := range set {
+		flow := make(map[int]float64)
+		for _, l := range xyPath(c) {
+			id := m.LinkID(l)
+			flow[id] += c.Rate
+			loads[id] += c.Rate
+		}
+		perComm[i] = flow
+	}
+
+	objective := func(x []float64) float64 {
+		total := 0.0
+		for _, v := range x {
+			if v > 0 {
+				total += dyn(v)
+			}
+		}
+		return total
+	}
+
+	var gap float64
+	iters := 0
+	for ; iters < opts.MaxIters; iters++ {
+		// Marginal costs at the current loads.
+		costs := make([]float64, nLinks)
+		for id, v := range loads {
+			costs[id] = dynPrime(v)
+		}
+		// All-or-nothing assignment: cheapest path per communication
+		// under the marginal costs (DP over the communication's DAG).
+		target := make([]float64, nLinks)
+		targetPer := make([]map[int]float64, len(set))
+		linear := 0.0 // c·(x − y), the Frank–Wolfe gap numerator
+		for i, c := range set {
+			path := cheapestPath(m, c, costs)
+			flow := make(map[int]float64, len(path))
+			for _, l := range path {
+				id := m.LinkID(l)
+				target[id] += c.Rate
+				flow[id] += c.Rate
+			}
+			targetPer[i] = flow
+		}
+		for id := range loads {
+			linear += costs[id] * (loads[id] - target[id])
+		}
+		obj := objective(loads)
+		if obj > 0 {
+			gap = linear / obj
+		} else {
+			gap = 0
+		}
+		if gap <= opts.Tolerance {
+			break
+		}
+		// Exact 1-D line search on the convex segment via ternary search.
+		gamma := lineSearch(func(g float64) float64 {
+			total := 0.0
+			for id := range loads {
+				v := (1-g)*loads[id] + g*target[id]
+				if v > 0 {
+					total += dyn(v)
+				}
+			}
+			return total
+		})
+		if gamma <= 0 {
+			break
+		}
+		for id := range loads {
+			loads[id] = (1-gamma)*loads[id] + gamma*target[id]
+		}
+		for i := range perComm {
+			merged := make(map[int]float64, len(perComm[i])+len(targetPer[i]))
+			for id, v := range perComm[i] {
+				if nv := (1 - gamma) * v; nv > 1e-12 {
+					merged[id] = nv
+				}
+			}
+			for id, v := range targetPer[i] {
+				if nv := merged[id] + gamma*v; nv > 1e-12 {
+					merged[id] = nv
+				}
+			}
+			perComm[i] = merged
+		}
+	}
+
+	sol := &Solution{
+		Loads:   loads,
+		PerComm: make(map[int]map[int]float64, len(set)),
+		Power:   objective(loads),
+		Gap:     gap,
+		Iters:   iters,
+	}
+	for i, c := range set {
+		sol.PerComm[c.ID] = perComm[i]
+	}
+	return sol, nil
+}
+
+// xyPath mirrors route.XY without importing route (keeping optflow at the
+// same dependency layer as the heuristics' inputs).
+func xyPath(c comm.Comm) []mesh.Link {
+	var links []mesh.Link
+	cur := c.Src
+	for cur.V != c.Dst.V {
+		next := cur
+		if c.Dst.V > cur.V {
+			next.V++
+		} else {
+			next.V--
+		}
+		links = append(links, mesh.Link{From: cur, To: next})
+		cur = next
+	}
+	for cur.U != c.Dst.U {
+		next := cur
+		if c.Dst.U > cur.U {
+			next.U++
+		} else {
+			next.U--
+		}
+		links = append(links, mesh.Link{From: cur, To: next})
+		cur = next
+	}
+	return links
+}
+
+// cheapestPath runs the shortest-path DP over the communication's
+// bounding-box DAG: cores are processed diagonal by diagonal, so each
+// link is relaxed exactly once.
+func cheapestPath(m *mesh.Mesh, c comm.Comm, costs []float64) []mesh.Link {
+	type state struct {
+		dist float64
+		via  mesh.Link
+		ok   bool
+	}
+	dist := map[mesh.Coord]state{c.Src: {dist: 0, ok: true}}
+	ell := c.Length()
+	for t := 0; t < ell; t++ {
+		for _, l := range m.FrontierLinks(c.Src, c.Dst, t) {
+			from, okFrom := dist[l.From]
+			if !okFrom || !from.ok {
+				continue
+			}
+			cand := from.dist + costs[m.LinkID(l)]
+			cur, seen := dist[l.To]
+			if !seen || !cur.ok || cand < cur.dist {
+				dist[l.To] = state{dist: cand, via: l, ok: true}
+			}
+		}
+	}
+	// Walk back from the sink.
+	path := make([]mesh.Link, ell)
+	cur := c.Dst
+	for t := ell - 1; t >= 0; t-- {
+		st := dist[cur]
+		path[t] = st.via
+		cur = st.via.From
+	}
+	return path
+}
+
+// lineSearch minimizes a convex function on [0,1] by ternary search.
+func lineSearch(f func(float64) float64) float64 {
+	lo, hi := 0.0, 1.0
+	for i := 0; i < 60; i++ {
+		m1 := lo + (hi-lo)/3
+		m2 := hi - (hi-lo)/3
+		if f(m1) <= f(m2) {
+			hi = m2
+		} else {
+			lo = m1
+		}
+	}
+	g := (lo + hi) / 2
+	if f(g) >= f(0) {
+		return 0
+	}
+	return g
+}

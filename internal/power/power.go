@@ -1,0 +1,206 @@
+// Package power implements the link power-consumption model of Section 3.1:
+// an active link dissipates a static leakage part plus a dynamic part that
+// grows as the α-th power of the link frequency, the frequency being scaled
+// to match the traffic on the link (DVFS).
+//
+//	P(link) = Pleak + P0 · f^α   if the link is active (f > 0)
+//	P(link) = 0                  if the link is inactive
+//
+// Frequencies may be continuous (f equals the load exactly) or restricted
+// to a discrete set, in which case the smallest frequency at or above the
+// load is selected, as in the Section 6 simulations.
+package power
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// ErrOverloaded is returned (wrapped) when a link load exceeds the maximum
+// available bandwidth, i.e. the routing is invalid per Section 3.4.
+var ErrOverloaded = errors.New("power: link load exceeds maximum bandwidth")
+
+// Model captures the power characteristics of the mesh links. All loads
+// and frequencies are expressed in the same bandwidth unit (Mb/s in the
+// experiments); FreqUnit rescales frequencies inside the dynamic-power
+// term so that constants fitted in other units (Gb/s in the paper) can be
+// used verbatim.
+type Model struct {
+	// Pleak is the static (leakage) power of an active link, in mW.
+	Pleak float64
+	// P0 is the dynamic power constant: Pdyn = P0·(f/FreqUnit)^α.
+	P0 float64
+	// Alpha is the dynamic exponent, 2 < α ≤ 3 (Section 3.1).
+	Alpha float64
+	// Freqs is the sorted set of available discrete frequencies. Empty
+	// means continuous scaling: the frequency equals the load.
+	Freqs []float64
+	// MaxBW is the maximum link bandwidth. Loads above MaxBW are
+	// infeasible. With discrete frequencies MaxBW is the largest entry
+	// of Freqs.
+	MaxBW float64
+	// FreqUnit divides frequencies before exponentiation, so the model
+	// P0·(f [Gb/s])^α can run on Mb/s loads with FreqUnit = 1000.
+	// Zero means 1 (no rescaling).
+	FreqUnit float64
+}
+
+// Validate checks the model parameters for consistency.
+func (m Model) Validate() error {
+	if m.Pleak < 0 || m.P0 < 0 {
+		return fmt.Errorf("power: negative constants (Pleak=%g, P0=%g)", m.Pleak, m.P0)
+	}
+	if m.Alpha <= 1 {
+		return fmt.Errorf("power: alpha %g must exceed 1 for convexity", m.Alpha)
+	}
+	if m.MaxBW <= 0 {
+		return fmt.Errorf("power: non-positive MaxBW %g", m.MaxBW)
+	}
+	if !sort.Float64sAreSorted(m.Freqs) {
+		return errors.New("power: Freqs must be sorted ascending")
+	}
+	for _, f := range m.Freqs {
+		if f <= 0 {
+			return fmt.Errorf("power: non-positive frequency %g", f)
+		}
+	}
+	if len(m.Freqs) > 0 && m.Freqs[len(m.Freqs)-1] != m.MaxBW {
+		return fmt.Errorf("power: MaxBW %g differs from top frequency %g",
+			m.MaxBW, m.Freqs[len(m.Freqs)-1])
+	}
+	return nil
+}
+
+// Continuous reports whether the model scales frequencies continuously.
+func (m Model) Continuous() bool { return len(m.Freqs) == 0 }
+
+// Quantize returns the operating frequency for a link carrying the given
+// load: the load itself under continuous scaling, or the smallest discrete
+// frequency at or above the load. It returns a wrapped ErrOverloaded when
+// the load exceeds the available bandwidth, and 0 for idle links.
+func (m Model) Quantize(load float64) (float64, error) {
+	if load < 0 {
+		return 0, fmt.Errorf("power: negative load %g", load)
+	}
+	if load == 0 {
+		return 0, nil
+	}
+	if load > m.MaxBW+loadEps {
+		return 0, fmt.Errorf("%w: load %.6g > max %.6g", ErrOverloaded, load, m.MaxBW)
+	}
+	if m.Continuous() {
+		return math.Min(load, m.MaxBW), nil
+	}
+	i := sort.SearchFloat64s(m.Freqs, load-loadEps)
+	if i == len(m.Freqs) {
+		return 0, fmt.Errorf("%w: load %.6g > top frequency %.6g", ErrOverloaded, load, m.MaxBW)
+	}
+	return m.Freqs[i], nil
+}
+
+// loadEps absorbs floating-point noise from repeated load additions and
+// removals (the PR heuristic redistributes fractional shares thousands of
+// times); loads within 1e-9 of a frequency snap onto it.
+const loadEps = 1e-9
+
+// LinkPower returns the power dissipated by a single link carrying the
+// given load (0 for an idle link), per the Section 3.1 model.
+func (m Model) LinkPower(load float64) (float64, error) {
+	f, err := m.Quantize(load)
+	if err != nil {
+		return 0, err
+	}
+	if f == 0 {
+		return 0, nil
+	}
+	return m.Pleak + m.Dynamic(f), nil
+}
+
+// Dynamic returns only the dynamic part P0·(f/FreqUnit)^α for an operating
+// frequency f.
+func (m Model) Dynamic(f float64) float64 {
+	unit := m.FreqUnit
+	if unit == 0 {
+		unit = 1
+	}
+	return m.P0 * math.Pow(f/unit, m.Alpha)
+}
+
+// Total returns the total power of a set of link loads, the number of
+// active links, and the static/dynamic breakdown. A wrapped ErrOverloaded
+// is returned if any load is infeasible; the routing is then invalid.
+func (m Model) Total(loads []float64) (Breakdown, error) {
+	var b Breakdown
+	for i, load := range loads {
+		if load == 0 {
+			continue
+		}
+		f, err := m.Quantize(load)
+		if err != nil {
+			return Breakdown{}, fmt.Errorf("link %d: %w", i, err)
+		}
+		b.ActiveLinks++
+		b.Static += m.Pleak
+		b.Dynamic += m.Dynamic(f)
+	}
+	return b, nil
+}
+
+// Feasible reports whether every load fits within the available bandwidth.
+func (m Model) Feasible(loads []float64) bool {
+	for _, load := range loads {
+		if load > m.MaxBW+loadEps {
+			return false
+		}
+	}
+	return true
+}
+
+// Breakdown decomposes a total power figure into its static and dynamic
+// parts (the §6.4 statistic: static ≈ 1/7 of total in the paper's runs).
+type Breakdown struct {
+	Static      float64
+	Dynamic     float64
+	ActiveLinks int
+}
+
+// Total returns static + dynamic power.
+func (b Breakdown) Total() float64 { return b.Static + b.Dynamic }
+
+// KimHorowitz returns the discrete model used throughout Section 6,
+// fitted to the adaptive serial links of Kim & Horowitz [7]:
+// Pleak = 16.9 mW, P0 = 5.41, α = 2.95, frequencies {1, 2.5, 3.5} Gb/s.
+// Loads are expressed in Mb/s (top bandwidth 3500 Mb/s).
+func KimHorowitz() Model {
+	return Model{
+		Pleak:    16.9,
+		P0:       5.41,
+		Alpha:    2.95,
+		Freqs:    []float64{1000, 2500, 3500},
+		MaxBW:    3500,
+		FreqUnit: 1000,
+	}
+}
+
+// KimHorowitzContinuous is the same silicon with idealized continuous
+// frequency scaling; used by the discrete-vs-continuous ablation.
+func KimHorowitzContinuous() Model {
+	m := KimHorowitz()
+	m.Freqs = nil
+	return m
+}
+
+// Figure2 returns the toy continuous model of the Section 3.5 example and
+// of the Section 4 analysis: Pleak = 0, P0 = 1, α = 3, BW = 4.
+func Figure2() Model {
+	return Model{Pleak: 0, P0: 1, Alpha: 3, MaxBW: 4}
+}
+
+// Theory returns a continuous model with no leakage, unit P0 and the given
+// α, and practically unbounded bandwidth; Section 4's worst-case analyses
+// (Theorems 1 and 2) are stated in this regime.
+func Theory(alpha float64) Model {
+	return Model{Pleak: 0, P0: 1, Alpha: alpha, MaxBW: math.MaxFloat64}
+}

@@ -1,0 +1,209 @@
+package power
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestValidate(t *testing.T) {
+	if err := KimHorowitz().Validate(); err != nil {
+		t.Fatalf("KimHorowitz invalid: %v", err)
+	}
+	if err := Figure2().Validate(); err != nil {
+		t.Fatalf("Figure2 invalid: %v", err)
+	}
+	bad := []Model{
+		{Pleak: -1, P0: 1, Alpha: 3, MaxBW: 1},
+		{Pleak: 0, P0: 1, Alpha: 0.5, MaxBW: 1},
+		{Pleak: 0, P0: 1, Alpha: 3, MaxBW: 0},
+		{Pleak: 0, P0: 1, Alpha: 3, MaxBW: 5, Freqs: []float64{3, 2}},
+		{Pleak: 0, P0: 1, Alpha: 3, MaxBW: 5, Freqs: []float64{1, 2}}, // top != MaxBW
+		{Pleak: 0, P0: 1, Alpha: 3, MaxBW: 5, Freqs: []float64{-1, 5}},
+	}
+	for i, m := range bad {
+		if err := m.Validate(); err == nil {
+			t.Errorf("bad model %d validated", i)
+		}
+	}
+}
+
+func TestQuantizeDiscrete(t *testing.T) {
+	m := KimHorowitz()
+	cases := []struct {
+		load, want float64
+	}{
+		{0, 0},
+		{1, 1000},
+		{999.5, 1000},
+		{1000, 1000},
+		{1000.5, 2500},
+		{2500, 2500},
+		{2501, 3500},
+		{3500, 3500},
+	}
+	for _, tc := range cases {
+		got, err := m.Quantize(tc.load)
+		if err != nil {
+			t.Fatalf("Quantize(%g): %v", tc.load, err)
+		}
+		if got != tc.want {
+			t.Errorf("Quantize(%g) = %g, want %g", tc.load, got, tc.want)
+		}
+	}
+	if _, err := m.Quantize(3500.1); !errors.Is(err, ErrOverloaded) {
+		t.Errorf("Quantize(3500.1) err = %v, want ErrOverloaded", err)
+	}
+	if _, err := m.Quantize(-1); err == nil {
+		t.Error("Quantize(-1) did not error")
+	}
+}
+
+// Loads that land within floating-point noise of a frequency must snap to
+// it, not to the next step up: the PR heuristic accumulates shares like
+// 1000·(1/3 + 1/3 + 1/3).
+func TestQuantizeAbsorbsFloatNoise(t *testing.T) {
+	m := KimHorowitz()
+	load := 0.0
+	for i := 0; i < 3; i++ {
+		load += 1000.0 / 3.0
+	}
+	f, err := m.Quantize(load)
+	if err != nil || f != 1000 {
+		t.Errorf("Quantize(3 thirds of 1000) = %g, %v; want 1000", f, err)
+	}
+}
+
+func TestQuantizeContinuous(t *testing.T) {
+	m := Figure2()
+	for _, load := range []float64{0, 0.5, 1, 3.999, 4} {
+		got, err := m.Quantize(load)
+		if err != nil {
+			t.Fatalf("Quantize(%g): %v", load, err)
+		}
+		if got != load {
+			t.Errorf("continuous Quantize(%g) = %g", load, got)
+		}
+	}
+	if _, err := m.Quantize(4.01); !errors.Is(err, ErrOverloaded) {
+		t.Error("continuous overload not detected")
+	}
+}
+
+// Figure 2 arithmetic: with Pleak=0, P0=1, α=3 a link at load 4 burns 64.
+func TestLinkPowerFigure2(t *testing.T) {
+	m := Figure2()
+	p, err := m.LinkPower(4)
+	if err != nil || p != 64 {
+		t.Fatalf("LinkPower(4) = %g, %v; want 64", p, err)
+	}
+	p, err = m.LinkPower(0)
+	if err != nil || p != 0 {
+		t.Fatalf("LinkPower(0) = %g, %v; want 0", p, err)
+	}
+}
+
+func TestKimHorowitzPowerLevels(t *testing.T) {
+	m := KimHorowitz()
+	// At 1 Gb/s the dynamic part is P0·1^α = 5.41 mW.
+	p, err := m.LinkPower(800)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 16.9 + 5.41; math.Abs(p-want) > 1e-9 {
+		t.Errorf("LinkPower(800) = %g, want %g", p, want)
+	}
+	// At 3.5 Gb/s: 16.9 + 5.41·3.5^2.95.
+	p, err = m.LinkPower(3000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 16.9 + 5.41*math.Pow(3.5, 2.95); math.Abs(p-want) > 1e-9 {
+		t.Errorf("LinkPower(3000) = %g, want %g", p, want)
+	}
+}
+
+func TestTotalBreakdown(t *testing.T) {
+	m := KimHorowitz()
+	loads := []float64{0, 500, 0, 3000, 2000}
+	b, err := m.Total(loads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.ActiveLinks != 3 {
+		t.Errorf("ActiveLinks = %d, want 3", b.ActiveLinks)
+	}
+	if want := 3 * 16.9; math.Abs(b.Static-want) > 1e-9 {
+		t.Errorf("Static = %g, want %g", b.Static, want)
+	}
+	wantDyn := 5.41 * (math.Pow(1, 2.95) + math.Pow(3.5, 2.95) + math.Pow(2.5, 2.95))
+	if math.Abs(b.Dynamic-wantDyn) > 1e-9 {
+		t.Errorf("Dynamic = %g, want %g", b.Dynamic, wantDyn)
+	}
+	if math.Abs(b.Total()-(b.Static+b.Dynamic)) > 1e-12 {
+		t.Error("Total != Static+Dynamic")
+	}
+	if _, err := m.Total([]float64{4000}); !errors.Is(err, ErrOverloaded) {
+		t.Error("overloaded Total did not fail")
+	}
+}
+
+func TestFeasible(t *testing.T) {
+	m := KimHorowitz()
+	if !m.Feasible([]float64{0, 3500, 10}) {
+		t.Error("feasible loads reported infeasible")
+	}
+	if m.Feasible([]float64{0, 3500.01}) {
+		t.Error("infeasible loads reported feasible")
+	}
+}
+
+// Power is monotone non-decreasing in load (needed for the greedy argument
+// in every heuristic), and convex-superadditive for the continuous model:
+// P(a)+P(b) ≤ P(a+b) when Pleak = 0 and α > 1 — the inequality behind the
+// multi-path gains of Section 3.5.
+func TestPowerMonotoneAndSuperadditive(t *testing.T) {
+	m := Theory(2.95)
+	f := func(a, b uint16) bool {
+		x, y := float64(a%3000), float64(b%3000)
+		pa, err1 := m.LinkPower(x)
+		pb, err2 := m.LinkPower(y)
+		pab, err3 := m.LinkPower(x + y)
+		if err1 != nil || err2 != nil || err3 != nil {
+			return false
+		}
+		if x <= y {
+			if pa > pb+1e-9 {
+				return false // monotone
+			}
+		}
+		return pa+pb <= pab+1e-9 // superadditive
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Discrete power is a step function dominating... at least matching the
+// continuous power for the same parameters.
+func TestDiscreteDominatesContinuous(t *testing.T) {
+	d, c := KimHorowitz(), KimHorowitzContinuous()
+	for load := 50.0; load <= 3500; load += 50 {
+		pd, err1 := d.LinkPower(load)
+		pc, err2 := c.LinkPower(load)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("load %g: %v %v", load, err1, err2)
+		}
+		if pd < pc-1e-9 {
+			t.Errorf("load %g: discrete %g < continuous %g", load, pd, pc)
+		}
+	}
+}
+
+func TestTheoryModelUnbounded(t *testing.T) {
+	m := Theory(3)
+	if _, err := m.LinkPower(1e12); err != nil {
+		t.Errorf("theory model should accept any load: %v", err)
+	}
+}

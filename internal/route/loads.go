@@ -1,0 +1,141 @@
+package route
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/mesh"
+	"repro/internal/power"
+)
+
+// LoadTracker is the mutable link-load account the greedy heuristics work
+// against: O(1) add/remove/query by link, plus power-oriented queries.
+// Loads are guarded against drifting negative by clamping tiny negative
+// residues from floating-point removal back to zero.
+type LoadTracker struct {
+	mesh  *mesh.Mesh
+	loads []float64
+}
+
+// NewLoadTracker returns an empty tracker for the mesh.
+func NewLoadTracker(m *mesh.Mesh) *LoadTracker {
+	return &LoadTracker{mesh: m, loads: make([]float64, m.LinkIDSpace())}
+}
+
+// Mesh returns the tracker's mesh.
+func (t *LoadTracker) Mesh() *mesh.Mesh { return t.mesh }
+
+// Add adds rate to the load of link l (rate may be negative to remove).
+func (t *LoadTracker) Add(l mesh.Link, rate float64) {
+	id := t.mesh.LinkID(l)
+	t.loads[id] += rate
+	if t.loads[id] < 0 {
+		if t.loads[id] < -1e-6 {
+			panic(fmt.Sprintf("route: load of %v driven to %g", l, t.loads[id]))
+		}
+		t.loads[id] = 0
+	}
+}
+
+// AddPath adds rate along every link of the path.
+func (t *LoadTracker) AddPath(p Path, rate float64) {
+	for _, l := range p {
+		t.Add(l, rate)
+	}
+}
+
+// Load returns the current load of link l.
+func (t *LoadTracker) Load(l mesh.Link) float64 { return t.loads[t.mesh.LinkID(l)] }
+
+// LoadID returns the current load of the link with the given dense id.
+func (t *LoadTracker) LoadID(id int) float64 { return t.loads[id] }
+
+// Loads returns a copy of the per-link load vector (indexed by LinkID).
+func (t *LoadTracker) Loads() []float64 {
+	out := make([]float64, len(t.loads))
+	copy(out, t.loads)
+	return out
+}
+
+// Clone returns an independent copy of the tracker.
+func (t *LoadTracker) Clone() *LoadTracker {
+	return &LoadTracker{mesh: t.mesh, loads: t.Loads()}
+}
+
+// Reset zeroes all loads.
+func (t *LoadTracker) Reset() {
+	for i := range t.loads {
+		t.loads[i] = 0
+	}
+}
+
+// MaxLoad returns the largest current load.
+func (t *LoadTracker) MaxLoad() float64 {
+	max := 0.0
+	for _, l := range t.loads {
+		if l > max {
+			max = l
+		}
+	}
+	return max
+}
+
+// LinksByLoadDesc returns every loaded link sorted by decreasing load
+// (ties by link id for determinism), the scan order of the XYI and PR
+// heuristics.
+func (t *LoadTracker) LinksByLoadDesc() []mesh.Link {
+	type entry struct {
+		id   int
+		load float64
+	}
+	entries := make([]entry, 0, 64)
+	for id, load := range t.loads {
+		if load > 0 {
+			entries = append(entries, entry{id, load})
+		}
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].load != entries[j].load {
+			return entries[i].load > entries[j].load
+		}
+		return entries[i].id < entries[j].id
+	})
+	out := make([]mesh.Link, len(entries))
+	for i, e := range entries {
+		out[i] = t.mesh.LinkByID(e.id)
+	}
+	return out
+}
+
+// Power evaluates the tracked loads under the model.
+func (t *LoadTracker) Power(model power.Model) (power.Breakdown, error) {
+	return model.Total(t.loads)
+}
+
+// LinkPowerWith returns the power of link l if extra were added to its
+// current load. Infeasible loads return +Inf so greedy comparisons
+// naturally avoid them; the error is still reported by the final Evaluate.
+func (t *LoadTracker) LinkPowerWith(model power.Model, l mesh.Link, extra float64) float64 {
+	p, err := model.LinkPower(t.Load(l) + extra)
+	if err != nil {
+		return inf
+	}
+	return p
+}
+
+// DeltaPower returns the change in link power caused by adding extra to
+// link l (infeasible additions return +Inf).
+func (t *LoadTracker) DeltaPower(model power.Model, l mesh.Link, extra float64) float64 {
+	before, err := model.LinkPower(t.Load(l))
+	if err != nil {
+		return inf
+	}
+	after, err := model.LinkPower(t.Load(l) + extra)
+	if err != nil {
+		return inf
+	}
+	return after - before
+}
+
+var inf = math.Inf(1)

@@ -1,0 +1,142 @@
+package route
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/mesh"
+)
+
+func grid() *mesh.Mesh { return mesh.MustNew(8, 8) }
+
+func randCoord(rng *rand.Rand, m *mesh.Mesh) mesh.Coord {
+	return mesh.Coord{U: rng.Intn(m.P()) + 1, V: rng.Intn(m.Q()) + 1}
+}
+
+// XY and YX always produce valid Manhattan paths, in any quadrant.
+func TestXYAndYXValid(t *testing.T) {
+	m := grid()
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 500; i++ {
+		src, dst := randCoord(rng, m), randCoord(rng, m)
+		for name, p := range map[string]Path{"XY": XY(src, dst), "YX": YX(src, dst)} {
+			if err := p.Validate(m, src, dst); err != nil {
+				t.Fatalf("%s(%v,%v): %v", name, src, dst, err)
+			}
+		}
+	}
+}
+
+func TestXYGoesHorizontalFirst(t *testing.T) {
+	p := XY(mesh.Coord{U: 1, V: 1}, mesh.Coord{U: 3, V: 4})
+	// 3 horizontal hops then 2 vertical hops.
+	for i, l := range p {
+		horizontal := l.Dir() == mesh.East || l.Dir() == mesh.West
+		if i < 3 && !horizontal {
+			t.Fatalf("hop %d of XY is %v, want horizontal", i, l.Dir())
+		}
+		if i >= 3 && horizontal {
+			t.Fatalf("hop %d of XY is %v, want vertical", i, l.Dir())
+		}
+	}
+}
+
+func TestYXGoesVerticalFirst(t *testing.T) {
+	p := YX(mesh.Coord{U: 1, V: 1}, mesh.Coord{U: 3, V: 4})
+	for i, l := range p {
+		vertical := l.Dir() == mesh.South || l.Dir() == mesh.North
+		if i < 2 && !vertical {
+			t.Fatalf("hop %d of YX is %v, want vertical", i, l.Dir())
+		}
+		if i >= 2 && vertical {
+			t.Fatalf("hop %d of YX is %v, want horizontal", i, l.Dir())
+		}
+	}
+}
+
+func TestValidateRejectsBadPaths(t *testing.T) {
+	m := grid()
+	src, dst := mesh.Coord{U: 1, V: 1}, mesh.Coord{U: 3, V: 3}
+	good := XY(src, dst)
+
+	tooShort := good[:len(good)-1]
+	if err := Path(tooShort).Validate(m, src, dst); err == nil {
+		t.Error("short path accepted")
+	}
+
+	// Detour (non-Manhattan): E, W, then the real path — wrong length.
+	detour := FromMoves(src, []mesh.Dir{mesh.East, mesh.West, mesh.East, mesh.East, mesh.South, mesh.South})
+	if err := detour.Validate(m, src, dst); err == nil {
+		t.Error("detour accepted as Manhattan path")
+	}
+
+	// Disconnected: swap two non-adjacent hops.
+	disc := good.Clone()
+	disc[0], disc[3] = disc[3], disc[0]
+	if err := disc.Validate(m, src, dst); err == nil {
+		t.Error("disconnected path accepted")
+	}
+
+	// Wrong destination.
+	if err := good.Validate(m, src, mesh.Coord{U: 3, V: 4}); err == nil {
+		t.Error("wrong destination accepted")
+	}
+
+	// Empty path for distinct endpoints.
+	if err := Path(nil).Validate(m, src, dst); err == nil {
+		t.Error("empty path accepted for distant endpoints")
+	}
+	// Empty path for identical endpoints is fine.
+	if err := Path(nil).Validate(m, src, src); err != nil {
+		t.Errorf("empty self path rejected: %v", err)
+	}
+}
+
+func TestBends(t *testing.T) {
+	src := mesh.Coord{U: 1, V: 1}
+	cases := []struct {
+		moves []mesh.Dir
+		want  int
+	}{
+		{nil, 0},
+		{[]mesh.Dir{mesh.East}, 0},
+		{[]mesh.Dir{mesh.East, mesh.East}, 0},
+		{[]mesh.Dir{mesh.East, mesh.South}, 1},
+		{[]mesh.Dir{mesh.East, mesh.South, mesh.East}, 2},
+		{[]mesh.Dir{mesh.East, mesh.South, mesh.East, mesh.South}, 3},
+	}
+	for _, tc := range cases {
+		p := FromMoves(src, tc.moves)
+		if got := p.Bends(); got != tc.want {
+			t.Errorf("Bends(%v) = %d, want %d", tc.moves, got, tc.want)
+		}
+	}
+}
+
+func TestXYBendCount(t *testing.T) {
+	// XY and YX have at most one bend.
+	m := grid()
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 200; i++ {
+		src, dst := randCoord(rng, m), randCoord(rng, m)
+		if b := XY(src, dst).Bends(); b > 1 {
+			t.Fatalf("XY(%v,%v) has %d bends", src, dst, b)
+		}
+		if b := YX(src, dst).Bends(); b > 1 {
+			t.Fatalf("YX(%v,%v) has %d bends", src, dst, b)
+		}
+	}
+}
+
+func TestSrcDst(t *testing.T) {
+	p := XY(mesh.Coord{U: 2, V: 2}, mesh.Coord{U: 4, V: 5})
+	if s, ok := p.Src(); !ok || s != (mesh.Coord{U: 2, V: 2}) {
+		t.Errorf("Src = %v, %v", s, ok)
+	}
+	if d, ok := p.Dst(); !ok || d != (mesh.Coord{U: 4, V: 5}) {
+		t.Errorf("Dst = %v, %v", d, ok)
+	}
+	if _, ok := Path(nil).Src(); ok {
+		t.Error("empty path reported a source")
+	}
+}

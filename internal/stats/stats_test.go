@@ -1,0 +1,109 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestAccumulatorKnownValues(t *testing.T) {
+	var a Accumulator
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		a.Add(x)
+	}
+	if a.N() != 8 {
+		t.Fatalf("N = %d", a.N())
+	}
+	if math.Abs(a.Mean()-5) > 1e-12 {
+		t.Errorf("Mean = %g, want 5", a.Mean())
+	}
+	// Population variance is 4; unbiased sample variance is 32/7.
+	if want := 32.0 / 7.0; math.Abs(a.Var()-want) > 1e-12 {
+		t.Errorf("Var = %g, want %g", a.Var(), want)
+	}
+	if math.Abs(a.Std()-math.Sqrt(32.0/7.0)) > 1e-12 {
+		t.Errorf("Std = %g", a.Std())
+	}
+}
+
+func TestAccumulatorEmptyAndSingle(t *testing.T) {
+	var a Accumulator
+	if a.Mean() != 0 || a.Var() != 0 || a.StdErr() != 0 {
+		t.Error("empty accumulator not zero")
+	}
+	a.Add(3)
+	if a.Mean() != 3 || a.Var() != 0 {
+		t.Error("single sample stats wrong")
+	}
+}
+
+// Welford agrees with the two-pass formula.
+func TestAccumulatorMatchesTwoPass(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 20; trial++ {
+		n := rng.Intn(100) + 2
+		xs := make([]float64, n)
+		var a Accumulator
+		for i := range xs {
+			xs[i] = rng.NormFloat64()*10 + 50
+			a.Add(xs[i])
+		}
+		mean := Mean(xs)
+		ss := 0.0
+		for _, x := range xs {
+			ss += (x - mean) * (x - mean)
+		}
+		wantVar := ss / float64(n-1)
+		if math.Abs(a.Mean()-mean) > 1e-9 || math.Abs(a.Var()-wantVar) > 1e-9 {
+			t.Fatalf("trial %d: welford (%g,%g) vs two-pass (%g,%g)",
+				trial, a.Mean(), a.Var(), mean, wantVar)
+		}
+	}
+}
+
+func TestRatio(t *testing.T) {
+	var r Ratio
+	if r.Value() != 0 {
+		t.Error("empty ratio not 0")
+	}
+	r.Add(true)
+	r.Add(false)
+	r.Add(true)
+	r.Add(true)
+	if math.Abs(r.Value()-0.75) > 1e-12 {
+		t.Errorf("Value = %g, want 0.75", r.Value())
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if got := GeoMean([]float64{1, 4, 16}); math.Abs(got-4) > 1e-12 {
+		t.Errorf("GeoMean = %g, want 4", got)
+	}
+	if GeoMean(nil) != 0 || GeoMean([]float64{1, 0, 2}) != 0 {
+		t.Error("degenerate GeoMean not 0")
+	}
+}
+
+// Mean is translation-equivariant.
+func TestMeanTranslation(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e6 {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		shifted := make([]float64, len(xs))
+		for i, x := range xs {
+			shifted[i] = x + 100
+		}
+		return math.Abs(Mean(shifted)-Mean(xs)-100) < 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,67 @@
+package tables
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/mesh"
+)
+
+// Heatmap renders the per-link loads of a routing as an ASCII mesh map:
+// cores are '+', and each neighbor pair is connected by a glyph classing
+// the larger of the two directed loads against maxBW —
+//
+//	' ' idle   '.' ≤25%   '-' ≤50%   '=' ≤75%   '#' ≤100%   '!' overload
+//
+// Horizontal links render between cores on the core rows; vertical links
+// render on the interleaved rows. loads is indexed by mesh.LinkID.
+func Heatmap(m *mesh.Mesh, loads []float64, maxBW float64) string {
+	glyph := func(a, b mesh.Coord) byte {
+		load := 0.0
+		for _, l := range []mesh.Link{{From: a, To: b}, {From: b, To: a}} {
+			if v := loads[m.LinkID(l)]; v > load {
+				load = v
+			}
+		}
+		switch {
+		case load == 0:
+			return ' '
+		case load <= 0.25*maxBW:
+			return '.'
+		case load <= 0.50*maxBW:
+			return '-'
+		case load <= 0.75*maxBW:
+			return '='
+		case load <= maxBW+1e-9:
+			return '#'
+		default:
+			return '!'
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "link load heatmap (%dx%d, max %.0f):  .≤25%%  -≤50%%  =≤75%%  #≤100%%  !overload\n",
+		m.P(), m.Q(), maxBW)
+	for u := 1; u <= m.P(); u++ {
+		// Core row: + h + h + …
+		for v := 1; v <= m.Q(); v++ {
+			b.WriteByte('+')
+			if v < m.Q() {
+				g := glyph(mesh.Coord{U: u, V: v}, mesh.Coord{U: u, V: v + 1})
+				b.WriteByte(g)
+				b.WriteByte(g)
+			}
+		}
+		b.WriteByte('\n')
+		// Vertical row.
+		if u < m.P() {
+			for v := 1; v <= m.Q(); v++ {
+				b.WriteByte(glyph(mesh.Coord{U: u, V: v}, mesh.Coord{U: u + 1, V: v}))
+				if v < m.Q() {
+					b.WriteString("  ")
+				}
+			}
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,57 @@
+package tables
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/mesh"
+)
+
+func TestHeatmapGlyphClasses(t *testing.T) {
+	m := mesh.MustNew(2, 2)
+	loads := make([]float64, m.LinkIDSpace())
+	set := func(a, b mesh.Coord, v float64) {
+		loads[m.LinkID(mesh.Link{From: a, To: b})] = v
+	}
+	set(mesh.Coord{U: 1, V: 1}, mesh.Coord{U: 1, V: 2}, 100)  // '.' (≤25% of 1000)
+	set(mesh.Coord{U: 1, V: 1}, mesh.Coord{U: 2, V: 1}, 600)  // '='
+	set(mesh.Coord{U: 2, V: 1}, mesh.Coord{U: 2, V: 2}, 2000) // '!'
+	out := Heatmap(m, loads, 1000)
+	for _, want := range []string{".", "=", "!"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("heatmap missing glyph %q:\n%s", want, out)
+		}
+	}
+	// The idle vertical link (1,2)-(2,2) renders as a space row entry.
+	lines := strings.Split(out, "\n")
+	if len(lines) < 4 {
+		t.Fatalf("heatmap too short:\n%s", out)
+	}
+}
+
+// The heatmap picks the larger of the two directed loads.
+func TestHeatmapBidirectionalMax(t *testing.T) {
+	m := mesh.MustNew(1, 2)
+	loads := make([]float64, m.LinkIDSpace())
+	a, b := mesh.Coord{U: 1, V: 1}, mesh.Coord{U: 1, V: 2}
+	loads[m.LinkID(mesh.Link{From: a, To: b})] = 10
+	loads[m.LinkID(mesh.Link{From: b, To: a})] = 990
+	out := Heatmap(m, loads, 1000)
+	if !strings.Contains(out, "+##+") {
+		t.Errorf("expected '#' glyph for 99%% load:\n%s", out)
+	}
+}
+
+func TestHeatmapDimensions(t *testing.T) {
+	m := mesh.MustNew(3, 4)
+	out := Heatmap(m, make([]float64, m.LinkIDSpace()), 1000)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// 1 header + 3 core rows + 2 vertical rows.
+	if len(lines) != 6 {
+		t.Fatalf("heatmap has %d lines, want 6:\n%s", len(lines), out)
+	}
+	// Core rows: q '+' cells with 2-char connectors: 4 + 3·2 = 10 chars.
+	if len(lines[1]) != 10 {
+		t.Errorf("core row width %d, want 10: %q", len(lines[1]), lines[1])
+	}
+}

@@ -1,0 +1,112 @@
+// Package tables renders experiment results as aligned ASCII tables and
+// CSV files, the output formats of cmd/experiments.
+package tables
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a simple column-aligned text table.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// New returns a table with the given title and column headers.
+func New(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends a row; short rows are padded with empty cells.
+func (t *Table) AddRow(cells ...string) {
+	row := make([]string, len(t.Headers))
+	copy(row, cells)
+	t.Rows = append(t.Rows, row)
+}
+
+// AddFloatRow formats floats with the given precision into a row, with an
+// arbitrary first (label) cell.
+func (t *Table) AddFloatRow(label string, prec int, vals ...float64) {
+	cells := make([]string, 0, len(vals)+1)
+	cells = append(cells, label)
+	for _, v := range vals {
+		cells = append(cells, fmt.Sprintf("%.*f", prec, v))
+	}
+	t.AddRow(cells...)
+}
+
+// Render writes the table to w.
+func (t *Table) Render(w io.Writer) error {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// String renders the table to a string.
+func (t *Table) String() string {
+	var b strings.Builder
+	if err := t.Render(&b); err != nil {
+		return err.Error()
+	}
+	return b.String()
+}
+
+// WriteCSV writes the table as CSV (headers first). Cells containing
+// commas or quotes are quoted per RFC 4180.
+func (t *Table) WriteCSV(w io.Writer) error {
+	writeLine := func(cells []string) error {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			if strings.ContainsAny(c, ",\"\n") {
+				c = "\"" + strings.ReplaceAll(c, "\"", "\"\"") + "\""
+			}
+			parts[i] = c
+		}
+		_, err := fmt.Fprintln(w, strings.Join(parts, ","))
+		return err
+	}
+	if err := writeLine(t.Headers); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := writeLine(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}

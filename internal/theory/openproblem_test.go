@@ -1,0 +1,68 @@
+package theory
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSingleSourceGainSmallExact(t *testing.T) {
+	// 2×2 mesh, 2 unit comms: XY stacks both (2·2^3 = 16), the optimum
+	// splits them over the two corner paths (4 links at load 1 → 4).
+	pxy, p1mp, exactOpt, err := SingleSourceGain(2, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !exactOpt {
+		t.Fatal("tiny instance should be solved exactly")
+	}
+	if math.Abs(pxy-16) > 1e-9 || math.Abs(p1mp-4) > 1e-9 {
+		t.Fatalf("powers = (%g, %g), want (16, 4)", pxy, p1mp)
+	}
+}
+
+// The 1-MP gain for same-endpoint traffic grows with both n (more flows to
+// spread) and p (more room to spread them).
+func TestSingleSourceGainGrows(t *testing.T) {
+	ratio := func(p, n int) float64 {
+		pxy, p1mp, _, err := SingleSourceGain(p, n, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return pxy / p1mp
+	}
+	if r21 := ratio(3, 1); math.Abs(r21-1) > 1e-9 {
+		t.Errorf("single comm ratio %g, want 1 (nothing to spread)", r21)
+	}
+	r32 := ratio(3, 2)
+	r33 := ratio(3, 3)
+	if !(r33 > r32 && r32 > 1) {
+		t.Errorf("gain not increasing in n: %g, %g", r32, r33)
+	}
+	r42 := ratio(4, 2)
+	if r42 < r32 {
+		t.Errorf("gain decreasing in p: p=3 %g vs p=4 %g", r32, r42)
+	}
+}
+
+// Large sizes fall back to the heuristic path but still report a gain > 1.
+func TestSingleSourceGainHeuristicFallback(t *testing.T) {
+	pxy, p1mp, exactOpt, err := SingleSourceGain(8, 6, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exactOpt {
+		t.Fatal("8×8 with 6 comms should exceed the exact-search budget")
+	}
+	if pxy/p1mp <= 1 {
+		t.Errorf("heuristic gain %g not above 1", pxy/p1mp)
+	}
+}
+
+func TestSingleSourceGainRejectsBadArgs(t *testing.T) {
+	if _, _, _, err := SingleSourceGain(1, 1, 3); err == nil {
+		t.Error("p=1 accepted")
+	}
+	if _, _, _, err := SingleSourceGain(3, 0, 3); err == nil {
+		t.Error("n=0 accepted")
+	}
+}

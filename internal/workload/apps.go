@@ -1,0 +1,127 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/comm"
+	"repro/internal/mesh"
+)
+
+// The application-level generators below synthesize the "several parallel
+// applications, each mapped onto a set of nodes" setting of the paper's
+// introduction: system-level traffic is the union of per-application
+// communications, anonymized into a single comm.Set.
+
+// Pipeline adds the traffic of a streaming pipeline application mapped
+// onto a snake of cores starting at start: stage k sends rate Mb/s to
+// stage k+1. The snake walks east until it hits the mesh border, steps
+// south, then walks west, and so on. It returns the extended set.
+func Pipeline(m *mesh.Mesh, set comm.Set, start mesh.Coord, stages int, rate float64) (comm.Set, error) {
+	if !m.Contains(start) {
+		return nil, fmt.Errorf("workload: pipeline start %v outside %v", start, m)
+	}
+	cur := start
+	east := true
+	cores := []mesh.Coord{cur}
+	for len(cores) < stages {
+		var next mesh.Coord
+		if east {
+			next = cur.Step(mesh.East)
+		} else {
+			next = cur.Step(mesh.West)
+		}
+		if !m.Contains(next) {
+			next = cur.Step(mesh.South)
+			east = !east
+			if !m.Contains(next) {
+				return nil, fmt.Errorf("workload: pipeline of %d stages does not fit from %v", stages, start)
+			}
+		}
+		cores = append(cores, next)
+		cur = next
+	}
+	id := nextID(set)
+	for i := 0; i+1 < len(cores); i++ {
+		set = append(set, comm.Comm{ID: id, Src: cores[i], Dst: cores[i+1], Rate: rate})
+		id++
+	}
+	return set, nil
+}
+
+// Stencil adds nearest-neighbor exchange traffic of a 2-D stencil
+// application mapped onto the rectangular block box: every core sends
+// rate Mb/s to each of its 4 neighbors inside the block.
+func Stencil(m *mesh.Mesh, set comm.Set, box mesh.Box, rate float64) (comm.Set, error) {
+	if box.UMin < 1 || box.VMin < 1 || box.UMax > m.P() || box.VMax > m.Q() {
+		return nil, fmt.Errorf("workload: stencil block %+v outside %v", box, m)
+	}
+	id := nextID(set)
+	for u := box.UMin; u <= box.UMax; u++ {
+		for v := box.VMin; v <= box.VMax; v++ {
+			src := mesh.Coord{U: u, V: v}
+			for _, d := range []mesh.Dir{mesh.East, mesh.South, mesh.West, mesh.North} {
+				dst := src.Step(d)
+				if box.Contains(dst) {
+					set = append(set, comm.Comm{ID: id, Src: src, Dst: dst, Rate: rate})
+					id++
+				}
+			}
+		}
+	}
+	return set, nil
+}
+
+// Transpose adds all-to-all corner-turn traffic on the block: every core
+// (u,v) of the square block sends rate Mb/s to its transpose (v,u)
+// relative to the block origin. Classic adversarial pattern for XY
+// routing, since all routes turn at the diagonal.
+func Transpose(m *mesh.Mesh, set comm.Set, box mesh.Box, rate float64) (comm.Set, error) {
+	if box.UMax-box.UMin != box.VMax-box.VMin {
+		return nil, fmt.Errorf("workload: transpose block %+v not square", box)
+	}
+	if box.UMin < 1 || box.VMin < 1 || box.UMax > m.P() || box.VMax > m.Q() {
+		return nil, fmt.Errorf("workload: transpose block %+v outside %v", box, m)
+	}
+	id := nextID(set)
+	for u := box.UMin; u <= box.UMax; u++ {
+		for v := box.VMin; v <= box.VMax; v++ {
+			src := mesh.Coord{U: u, V: v}
+			dst := mesh.Coord{U: box.UMin + (v - box.VMin), V: box.VMin + (u - box.UMin)}
+			if src != dst {
+				set = append(set, comm.Comm{ID: id, Src: src, Dst: dst, Rate: rate})
+				id++
+			}
+		}
+	}
+	return set, nil
+}
+
+// Hotspot adds traffic from every listed source to a single sink (e.g. a
+// memory controller core): the single-destination regime of Theorem 1.
+func Hotspot(m *mesh.Mesh, set comm.Set, sources []mesh.Coord, sink mesh.Coord, rate float64) (comm.Set, error) {
+	if !m.Contains(sink) {
+		return nil, fmt.Errorf("workload: hotspot sink %v outside %v", sink, m)
+	}
+	id := nextID(set)
+	for _, src := range sources {
+		if !m.Contains(src) {
+			return nil, fmt.Errorf("workload: hotspot source %v outside %v", src, m)
+		}
+		if src == sink {
+			continue
+		}
+		set = append(set, comm.Comm{ID: id, Src: src, Dst: sink, Rate: rate})
+		id++
+	}
+	return set, nil
+}
+
+func nextID(set comm.Set) int {
+	next := 0
+	for _, c := range set {
+		if c.ID >= next {
+			next = c.ID + 1
+		}
+	}
+	return next
+}

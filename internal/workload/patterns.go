@@ -1,0 +1,103 @@
+package workload
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/comm"
+	"repro/internal/mesh"
+)
+
+// The permutation-traffic generators below are the classic synthetic NoC
+// benchmarks (bit-complement, bit-reverse, shuffle, tornado, neighbor):
+// every core sends one communication of the given rate to the core its
+// index is mapped to. Cores are indexed row-major from 0; the bit-defined
+// patterns require the core count to be a power of two (e.g. the paper's
+// 8×8 mesh).
+
+// Pattern names a synthetic permutation pattern.
+type Pattern int
+
+// The supported permutation patterns.
+const (
+	// BitComplement sends index i to ^i (mod N): corner-to-corner
+	// crossing traffic that saturates the mesh center.
+	BitComplement Pattern = iota
+	// BitReverse sends i to its bit-reversed index.
+	BitReverse
+	// Shuffle sends i to (2i mod N−1)-style left-rotated index.
+	Shuffle
+	// Tornado sends (u,v) to (u, v + ⌈q/2⌉−1 mod q): worst-case ring
+	// pressure along rows.
+	Tornado
+	// Neighbor sends (u,v) to (u, v+1 mod q): light nearest-neighbor
+	// traffic with a wrap-around flow per row.
+	Neighbor
+)
+
+// String names the pattern.
+func (p Pattern) String() string {
+	switch p {
+	case BitComplement:
+		return "bit-complement"
+	case BitReverse:
+		return "bit-reverse"
+	case Shuffle:
+		return "shuffle"
+	case Tornado:
+		return "tornado"
+	case Neighbor:
+		return "neighbor"
+	}
+	return fmt.Sprintf("Pattern(%d)", int(p))
+}
+
+// Patterns lists every supported pattern.
+func Patterns() []Pattern {
+	return []Pattern{BitComplement, BitReverse, Shuffle, Tornado, Neighbor}
+}
+
+// Permutation appends the pattern's traffic to set: one communication of
+// the given rate per core whose image differs from itself.
+func Permutation(m *mesh.Mesh, set comm.Set, p Pattern, rate float64) (comm.Set, error) {
+	n := m.NumCores()
+	logN := bits.Len(uint(n)) - 1
+	if p == BitComplement || p == BitReverse || p == Shuffle {
+		if n&(n-1) != 0 {
+			return nil, fmt.Errorf("workload: %v requires a power-of-two core count, got %d", p, n)
+		}
+	}
+	if rate <= 0 {
+		return nil, fmt.Errorf("workload: non-positive rate %g", rate)
+	}
+	idx := func(c mesh.Coord) int { return (c.U-1)*m.Q() + (c.V - 1) }
+	coord := func(i int) mesh.Coord { return mesh.Coord{U: i/m.Q() + 1, V: i%m.Q() + 1} }
+
+	id := nextID(set)
+	for _, src := range m.Cores() {
+		i := idx(src)
+		var j int
+		switch p {
+		case BitComplement:
+			j = (^i) & (n - 1)
+		case BitReverse:
+			j = int(bits.Reverse(uint(i)) >> (bits.UintSize - logN))
+		case Shuffle:
+			j = ((i << 1) | (i >> (logN - 1))) & (n - 1)
+		case Tornado:
+			shift := (m.Q()+1)/2 - 1
+			j = idx(mesh.Coord{U: src.U, V: (src.V-1+shift)%m.Q() + 1})
+		case Neighbor:
+			j = idx(mesh.Coord{U: src.U, V: src.V%m.Q() + 1})
+		default:
+			return nil, fmt.Errorf("workload: unknown pattern %v", p)
+		}
+		dst := coord(j)
+		if src == dst {
+			continue
+		}
+		set = append(set, comm.Comm{ID: id, Src: src, Dst: dst, Rate: rate})
+		id++
+	}
+	return set, nil
+}

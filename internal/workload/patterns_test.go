@@ -1,0 +1,142 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/mesh"
+)
+
+func TestPermutationValidOnPaperMesh(t *testing.T) {
+	m := mesh.MustNew(8, 8)
+	for _, p := range Patterns() {
+		set, err := Permutation(m, nil, p, 500)
+		if err != nil {
+			t.Fatalf("%v: %v", p, err)
+		}
+		if err := set.Validate(m); err != nil {
+			t.Fatalf("%v: %v", p, err)
+		}
+		if len(set) == 0 {
+			t.Fatalf("%v: empty pattern", p)
+		}
+	}
+}
+
+// A permutation pattern has at most one flow per source, and the bit
+// patterns are true permutations: each destination appears at most once.
+func TestPermutationIsPermutation(t *testing.T) {
+	m := mesh.MustNew(8, 8)
+	for _, p := range []Pattern{BitComplement, BitReverse, Shuffle, Tornado, Neighbor} {
+		set, err := Permutation(m, nil, p, 100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		srcs := map[mesh.Coord]int{}
+		dsts := map[mesh.Coord]int{}
+		for _, c := range set {
+			srcs[c.Src]++
+			dsts[c.Dst]++
+		}
+		for c, n := range srcs {
+			if n > 1 {
+				t.Errorf("%v: %v sends %d flows", p, c, n)
+			}
+		}
+		for c, n := range dsts {
+			if n > 1 {
+				t.Errorf("%v: %v receives %d flows", p, c, n)
+			}
+		}
+	}
+}
+
+func TestBitComplementGeometry(t *testing.T) {
+	m := mesh.MustNew(8, 8)
+	set, err := Permutation(m, nil, BitComplement, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Core index 0 = C(1,1) maps to index 63 = C(8,8).
+	found := false
+	for _, c := range set {
+		if c.Src == (mesh.Coord{U: 1, V: 1}) {
+			found = true
+			if c.Dst != (mesh.Coord{U: 8, V: 8}) {
+				t.Errorf("bit-complement of C(1,1) = %v, want C(8,8)", c.Dst)
+			}
+		}
+	}
+	if !found {
+		t.Error("C(1,1) has no flow")
+	}
+	// All 64 cores participate (no fixed points in complement).
+	if len(set) != 64 {
+		t.Errorf("flows = %d, want 64", len(set))
+	}
+}
+
+func TestTornadoStaysInRow(t *testing.T) {
+	m := mesh.MustNew(8, 8)
+	set, err := Permutation(m, nil, Tornado, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// On q=8 the shift is 3, so mesh (non-torus) distances are 3 or
+	// 8−3=5 depending on wrap-around.
+	for _, c := range set {
+		if c.Src.U != c.Dst.U {
+			t.Errorf("tornado flow leaves its row: %v", c)
+		}
+		if l := c.Length(); l != 3 && l != 5 {
+			t.Errorf("tornado hop distance %d for %v, want 3 or 5", l, c)
+		}
+	}
+}
+
+func TestNeighborLength(t *testing.T) {
+	m := mesh.MustNew(8, 8)
+	set, err := Permutation(m, nil, Neighbor, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range set {
+		// Either one hop right or the row wrap-around (7 hops back).
+		if l := c.Length(); l != 1 && l != 7 {
+			t.Errorf("neighbor length %d for %v", l, c)
+		}
+	}
+}
+
+func TestPermutationRejectsBadInput(t *testing.T) {
+	m := mesh.MustNew(3, 5) // 15 cores: not a power of two
+	if _, err := Permutation(m, nil, BitComplement, 100); err == nil {
+		t.Error("bit pattern on non-power-of-two mesh accepted")
+	}
+	m2 := mesh.MustNew(8, 8)
+	if _, err := Permutation(m2, nil, Neighbor, 0); err == nil {
+		t.Error("zero rate accepted")
+	}
+	if _, err := Permutation(m2, nil, Pattern(99), 10); err == nil {
+		t.Error("unknown pattern accepted")
+	}
+}
+
+// Tornado on non-power-of-two meshes is fine.
+func TestTornadoNonPowerOfTwo(t *testing.T) {
+	m := mesh.MustNew(3, 5)
+	set, err := Permutation(m, nil, Tornado, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := set.Validate(m); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPatternStrings(t *testing.T) {
+	for _, p := range Patterns() {
+		if p.String() == "" {
+			t.Errorf("pattern %d has empty name", int(p))
+		}
+	}
+}
