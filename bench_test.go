@@ -1,6 +1,6 @@
 // Repository benchmark harness: one benchmark per table/figure of the
-// paper (see the per-experiment index in DESIGN.md). The figure benchmarks
-// run shrunken panels — fewer points and trials than cmd/experiments — so
+// paper (see the E-numbered comments below). The figure benchmarks run
+// shrunken panels — fewer points and trials than cmd/experiments — so
 // `go test -bench=.` stays fast; custom metrics expose the headline values
 // of each figure (failure-rate gaps, power ratios) so regressions in the
 // heuristics are visible directly in benchmark output.
@@ -177,6 +177,63 @@ func BenchmarkNoCSim(b *testing.B) {
 		}
 	}
 	b.ReportMetric(worst, "worstRateErr")
+}
+
+// Engine — the pooled per-worker-scratch trial runner against the
+// old-style allocate-per-trial baseline, on the same panel with the same
+// seeds (the two produce identical figures; TestRunMatchesBaseline holds
+// them to it). The ns/op gap is the refactor's throughput win.
+func BenchmarkPanelRunner(b *testing.B) {
+	panel := func() experiments.Panel {
+		p := benchPanel(experiments.Figure7a(), 16)
+		return p
+	}
+	b.Run("baseline", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			p := panel()
+			p.RunBaseline()
+		}
+	})
+	b.Run("pooled", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			p := panel()
+			p.Run()
+		}
+	})
+}
+
+// maxAllocsPerTrial locks in the pooled runner's allocation discipline:
+// the engine's own per-trial path (workload draw, dispatch, evaluation,
+// outcome storage) reuses worker scratch, so per-trial allocations are
+// only what the routed policy itself needs — for XY on n=40 that is the
+// paths map, the flow slice and one route.Path per communication, well
+// under this bound. A regression that starts allocating per trial in the
+// engine (fresh generators, fresh load vectors, fresh outcome rows) blows
+// straight through it.
+const maxAllocsPerTrial = 256
+
+// Allocation guard on the pooled panel runner's per-trial path.
+func BenchmarkPanelTrialAllocs(b *testing.B) {
+	p := experiments.Figure7a()
+	p.Points = []experiments.Point{p.Points[len(p.Points)/2]} // n=70
+	const trials = 64
+	p.Trials = trials
+	p.Policies = []string{"XY"}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p.Run()
+	}
+	b.StopTimer()
+	// AllocsPerRun pins GOMAXPROCS to 1, so this measures exactly the
+	// serial per-trial hot path with a single worker scratch.
+	perTrial := testing.AllocsPerRun(3, func() { p.Run() }) / trials
+	b.ReportMetric(perTrial, "allocs/trial")
+	if perTrial > maxAllocsPerTrial {
+		b.Fatalf("per-trial allocations %.0f exceed the guard %d — the pooled engine is allocating on the hot path",
+			perTrial, maxAllocsPerTrial)
+	}
 }
 
 func relErr(got, want float64) float64 {

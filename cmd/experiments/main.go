@@ -8,6 +8,7 @@
 //	experiments -exp fig7a -trials 400
 //	experiments -exp all -trials 100 -csv results/
 //	experiments -exp summary -trials 20
+//	experiments -exp fig7b -policies XY,PR,2MP,MAXMP,SA
 package main
 
 import (
@@ -17,44 +18,73 @@ import (
 	"path/filepath"
 	"strings"
 
+	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/tables"
 )
 
 func main() {
 	var (
-		exp    = flag.String("exp", "all", "experiment id: fig2, fig7a..fig9c, summary, thm1, lemma2, noc, all")
-		trials = flag.Int("trials", 0, "trials per point (0 = default 400; the paper used 50000)")
-		seed   = flag.Int64("seed", 0, "seed offset added to each panel's base seed")
-		csvDir = flag.String("csv", "", "directory for CSV output (optional)")
+		exp      = flag.String("exp", "all", "experiment id: fig2, fig7a..fig9c, summary, thm1, lemma2, noc, all")
+		trials   = flag.Int("trials", 0, "trials per point (0 = default 400; the paper used 50000)")
+		seed     = flag.Int64("seed", 0, "seed offset added to each panel's base seed")
+		csvDir   = flag.String("csv", "", "directory for CSV output (optional)")
+		policies = flag.String("policies", "", "comma-separated policy list for the figure panels fig7a..fig9c only (default the paper's heuristics; registered: "+strings.Join(core.Policies(), ", ")+")")
 	)
 	flag.Parse()
-	if err := run(*exp, *trials, *seed, *csvDir); err != nil {
+	if err := run(*exp, *trials, *seed, *csvDir, *policies); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
 }
 
-func run(exp string, trials int, seed int64, csvDir string) error {
+// parsePolicies splits the -policies flag into a clean list (nil when
+// unset, so panels fall back to the paper's heuristic line-up).
+func parsePolicies(s string) []string {
+	if s == "" {
+		return nil
+	}
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func run(exp string, trials int, seed int64, csvDir, policies string) error {
 	if csvDir != "" {
 		if err := os.MkdirAll(csvDir, 0o755); err != nil {
 			return err
 		}
 	}
+	pols := parsePolicies(policies)
 	ids := []string{exp}
 	if exp == "all" {
 		ids = []string{"fig2", "fig7a", "fig7b", "fig7c", "fig8a", "fig8b", "fig8c",
 			"fig9a", "fig9b", "fig9c", "summary", "thm1", "lemma2", "open1mp", "patterns", "noc"}
+		if pols != nil {
+			// Only the figure panels can honor a policy list; running the
+			// rest would silently ignore it.
+			ids = []string{"fig7a", "fig7b", "fig7c", "fig8a", "fig8b", "fig8c",
+				"fig9a", "fig9b", "fig9c"}
+		}
 	}
 	for _, id := range ids {
-		if err := runOne(id, trials, seed, csvDir); err != nil {
+		if pols != nil {
+			if _, err := experiments.PanelByID(id); err != nil {
+				return fmt.Errorf("%s: -policies only applies to the figure panels (fig7a..fig9c)", id)
+			}
+		}
+		if err := runOne(id, trials, seed, csvDir, pols); err != nil {
 			return fmt.Errorf("%s: %w", id, err)
 		}
 	}
 	return nil
 }
 
-func runOne(id string, trials int, seed int64, csvDir string) error {
+func runOne(id string, trials int, seed int64, csvDir string, policies []string) error {
 	switch id {
 	case "fig2":
 		pxy, p1mp, p2mp, err := experiments.Figure2Powers()
@@ -119,7 +149,11 @@ func runOne(id string, trials int, seed int64, csvDir string) error {
 		}
 		panel.Trials = trials
 		panel.Seed += seed
-		res := panel.Run()
+		panel.Policies = policies
+		res, err := panel.RunE()
+		if err != nil {
+			return err
+		}
 		np, fr := res.Tables()
 		if err := emit(np, csvDir, id+"_power"); err != nil {
 			return err

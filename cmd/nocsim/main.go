@@ -11,6 +11,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"repro/internal/core"
 	"repro/internal/mesh"
@@ -26,7 +27,7 @@ func main() {
 		wmin    = flag.Float64("wmin", 100, "minimum weight (Mb/s)")
 		wmax    = flag.Float64("wmax", 1200, "maximum weight (Mb/s)")
 		seed    = flag.Int64("seed", 1, "workload seed")
-		policy  = flag.String("policy", "PR", "routing policy")
+		policy  = flag.String("policy", "PR", "routing policy ("+strings.Join(core.Policies(), ", ")+")")
 		horizon = flag.Float64("horizon", 3000, "simulated µs")
 		warmup  = flag.Float64("warmup", 500, "warmup µs excluded from stats")
 		packet  = flag.Float64("packet", 2048, "packet size in bits")

@@ -6,5 +6,7 @@
 // The root package carries the repository-level benchmark harness
 // (bench_test.go), with one benchmark per table and figure of the paper's
 // evaluation; the library lives under internal/ with internal/core as the
-// public facade. See README.md, DESIGN.md and EXPERIMENTS.md.
+// public facade and internal/solve as the policy registry every routing
+// family registers into. See README.md for the quickstart, the policy
+// table and the package map.
 package repro

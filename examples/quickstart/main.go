@@ -7,6 +7,7 @@ package main
 import (
 	"fmt"
 	"log"
+	"strings"
 
 	"repro/internal/comm"
 	"repro/internal/core"
@@ -28,9 +29,12 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// XY stacks both heavy flows on one corridor and fails; Manhattan
-	// routing spreads them.
-	for _, policy := range []string{"XY", "XYI", "PR", "BEST"} {
+	// Every policy family is one registry name away (see core.Policies()
+	// for the full list). XY stacks both heavy flows on one corridor and
+	// fails; Manhattan routing spreads them; the multi-path rules split
+	// the heavy flows and push power lower still.
+	fmt.Println("registered policies:", strings.Join(core.Policies(), ", "))
+	for _, policy := range []string{"XY", "XYI", "PR", "BEST", "2MP", "MAXMP"} {
 		sol, err := inst.Solve(policy)
 		if err != nil {
 			log.Fatal(err)

@@ -73,6 +73,15 @@ func main() {
 	for name, sol := range sols {
 		rows = append(rows, row{name, sol.Feasible(), sol.PowerMW()})
 	}
+	// Beyond the heuristics, any registered policy is one Solve away:
+	// compare the multi-path and annealing extensions on the same workload.
+	for _, name := range []string{"SA", "2MP", "4MP", "MAXMP"} {
+		sol, err := inst.Solve(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rows = append(rows, row{name, sol.Feasible(), sol.PowerMW()})
+	}
 	sort.Slice(rows, func(i, j int) bool {
 		if rows[i].ok != rows[j].ok {
 			return rows[i].ok

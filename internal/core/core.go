@@ -13,20 +13,24 @@ package core
 
 import (
 	"fmt"
-	"sort"
 	"strings"
 
 	"repro/internal/comm"
 	"repro/internal/exact"
 	"repro/internal/heur"
 	"repro/internal/mesh"
-	"repro/internal/multipath"
+	_ "repro/internal/multipath" // registers 2MP and 4MP
 	"repro/internal/noc"
-	"repro/internal/optflow"
+	_ "repro/internal/optflow" // registers MAXMP
 	"repro/internal/power"
 	"repro/internal/route"
+	"repro/internal/solve"
 	"repro/internal/tables"
 )
+
+// Options re-exports the registry's policy knobs (RNG seed, iteration
+// budgets, split counts, processing order) for SolveWith callers.
+type Options = solve.Options
 
 // Instance is a routing problem: a mesh CMP, a link power model, and the
 // communications to route.
@@ -57,20 +61,12 @@ func (in *Instance) Validate() error {
 	return in.Comms.Validate(in.Mesh)
 }
 
-// Policies returns the available routing policy names: the paper's
-// heuristics, BEST, OPT (exact branch-and-bound 1-MP, small instances
-// only), equal-split multi-path policies ("2MP", "4MP"), and MAXMP (the
-// Frank–Wolfe optimal unrestricted multi-path routing, materialized by
-// flow decomposition).
-func Policies() []string {
-	names := []string{"OPT", "2MP", "4MP", "MAXMP", "SA"}
-	for _, h := range heur.All() {
-		names = append(names, h.Name())
-	}
-	names = append(names, "BEST")
-	sort.Strings(names)
-	return names
-}
+// Policies returns every registered routing policy name, sorted: the
+// paper's heuristics, BEST, SA, OPT (exact branch-and-bound 1-MP, small
+// instances only), equal-split multi-path policies ("2MP", "4MP"), and
+// MAXMP (the Frank–Wolfe optimal unrestricted multi-path routing,
+// materialized by flow decomposition).
+func Policies() []string { return solve.Policies() }
 
 // Solution is a routed and evaluated instance.
 type Solution struct {
@@ -80,80 +76,28 @@ type Solution struct {
 	Result   route.Result
 }
 
-// Solve routes the instance with the named policy.
+// Solve routes the instance with the named policy (case-insensitive,
+// resolved through the solve registry) under default options.
 func (in *Instance) Solve(policy string) (*Solution, error) {
-	name := strings.ToUpper(policy)
-	switch name {
-	case "OPT":
-		r, ok, err := exact.Solve(in.Mesh, in.Model, in.Comms)
-		if err != nil {
-			return nil, err
-		}
-		if !ok {
-			return nil, fmt.Errorf("core: no feasible single-path routing exists")
-		}
-		return in.solution(name, r), nil
-	case "2MP", "4MP":
-		s := 2
-		if name == "4MP" {
-			s = 4
-		}
-		r, err := multipath.EqualSplit{S: s, Inner: heur.TB{}}.Route(in.Mesh, in.Model, in.Comms)
-		if err != nil {
-			return nil, err
-		}
-		return in.solution(name, r), nil
-	case "MAXMP":
-		r, err := in.solveMaxMP()
-		if err != nil {
-			return nil, err
-		}
-		return in.solution(name, r), nil
-	case "SA":
-		r, err := (heur.SA{}).Route(heur.Instance{Mesh: in.Mesh, Model: in.Model, Comms: in.Comms})
-		if err != nil {
-			return nil, err
-		}
-		return in.solution(name, r), nil
-	default:
-		h, err := heur.ByName(name)
-		if err != nil {
-			return nil, err
-		}
-		res, err := heur.Solve(h, heur.Instance{Mesh: in.Mesh, Model: in.Model, Comms: in.Comms})
-		if err != nil {
-			return nil, err
-		}
-		return &Solution{Policy: name, Instance: in, Routing: res.Routing, Result: res}, nil
+	return in.SolveWith(policy, Options{})
+}
+
+// SolveWith routes the instance with the named policy, passing the options
+// through to the policy (seeds, iteration budgets, split counts, orders).
+func (in *Instance) SolveWith(policy string, opts Options) (*Solution, error) {
+	s, err := solve.Lookup(policy)
+	if err != nil {
+		return nil, err
 	}
+	r, err := s.Route(solve.Instance{Mesh: in.Mesh, Model: in.Model, Comms: in.Comms}, opts)
+	if err != nil {
+		return nil, err
+	}
+	return in.solution(s.Name(), r), nil
 }
 
 func (in *Instance) solution(policy string, r route.Routing) *Solution {
 	return &Solution{Policy: policy, Instance: in, Routing: r, Result: route.Evaluate(r, in.Model)}
-}
-
-// solveMaxMP computes the continuous-optimal max-MP fractional routing
-// with Frank–Wolfe and materializes it as explicit per-path flows. The
-// final evaluation still applies the instance's own (possibly discrete)
-// model, so quantization costs appear in the reported power.
-func (in *Instance) solveMaxMP() (route.Routing, error) {
-	sol, err := optflow.Solve(in.Mesh, in.Model, in.Comms, optflow.Options{})
-	if err != nil {
-		return route.Routing{}, err
-	}
-	var flows []route.Flow
-	for _, c := range in.Comms {
-		field := multipath.NewFlowField(in.Mesh, c.Src, c.Dst, c.Rate)
-		for id, v := range sol.PerComm[c.ID] {
-			field.Add(in.Mesh.LinkByID(id), v)
-		}
-		part, err := field.Decompose(c.ID)
-		if err != nil {
-			return route.Routing{}, fmt.Errorf("core: decomposing comm %d: %w", c.ID, err)
-		}
-		flows = append(flows, part...)
-	}
-	return route.Routing{Mesh: in.Mesh, Flows: flows}, nil
 }
 
 // SolveAll routes the instance with every single-path heuristic plus BEST

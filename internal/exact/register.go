@@ -1,0 +1,29 @@
+package exact
+
+import (
+	"fmt"
+
+	"repro/internal/route"
+	"repro/internal/solve"
+)
+
+// optRoute adapts the branch-and-bound solver to the registry. Unlike the
+// heuristics, OPT proves infeasibility: when no single-path routing fits
+// the bandwidth it returns an error rather than an overloaded routing.
+func optRoute(in solve.Instance, _ solve.Options) (route.Routing, error) {
+	if err := in.Validate(); err != nil {
+		return route.Routing{}, err
+	}
+	r, ok, err := Solve(in.Mesh, in.Model, in.Comms)
+	if err != nil {
+		return route.Routing{}, err
+	}
+	if !ok {
+		return route.Routing{}, fmt.Errorf("exact: no feasible single-path routing exists")
+	}
+	return r, nil
+}
+
+func init() {
+	solve.Register(solve.Func{PolicyName: "OPT", RouteFunc: optRoute})
+}

@@ -29,12 +29,16 @@ type Point struct {
 }
 
 // Panel configures one figure panel: an x-sweep of workloads evaluated by
-// all heuristics over Trials random instances per point.
+// a policy list over Trials random instances per point.
 type Panel struct {
 	ID     string
 	Title  string
 	XLabel string
 	Points []Point
+	// Policies is the list of registered policy names the panel sweeps
+	// (any mix of families: heuristics, SA, multi-path, OPT, MAXMP).
+	// Empty means HeuristicNames — the paper's Figure 7–9 line-up.
+	Policies []string
 	// Trials is the number of random communication sets per point
 	// (the paper used 50 000; defaults are far smaller, see DefaultTrials).
 	Trials int

@@ -1,0 +1,158 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/mesh"
+)
+
+// A panel over a mixed policy list — single-path PR, equal-split 2MP and
+// the Frank–Wolfe MAXMP — must agree exactly with solving each trial
+// instance directly through the core facade: same per-trial seeds, same
+// normalization against the best feasible power in the list.
+func TestMixedPolicyPanelAgreesWithCore(t *testing.T) {
+	policies := []string{"PR", "2MP", "MAXMP"}
+	w := Workload{N: 8, WMin: 100, WMax: 1200}
+	p := Panel{ID: "mixed", XLabel: "x", Seed: 21, Trials: 4,
+		Policies: policies, Points: []Point{{X: 1, W: w}}}
+	res, err := p.RunE()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Series) != len(policies) {
+		t.Fatalf("series count %d, want %d", len(res.Series), len(policies))
+	}
+
+	// Recompute every trial through core.SolveWith and reduce by hand.
+	wantPow := make(map[string]float64)
+	wantFail := make(map[string]float64)
+	for trial := 0; trial < p.Trials; trial++ {
+		seed := trialSeed(p.Seed, 0, trial)
+		m := p.model()
+		set := drawSet(mesh.MustNew(8, 8), seed, w)
+		inst, err := core.NewInstance(8, 8, m, set)
+		if err != nil {
+			t.Fatal(err)
+		}
+		type cell struct {
+			feasible bool
+			pow      float64
+		}
+		cells := make([]cell, len(policies))
+		best := -1.0
+		for i, name := range policies {
+			sol, err := inst.SolveWith(name, core.Options{Seed: seed})
+			if err != nil {
+				continue // counted as failure, like the panel does
+			}
+			cells[i] = cell{feasible: sol.Feasible(), pow: sol.PowerMW()}
+			if cells[i].feasible && (best < 0 || cells[i].pow < best) {
+				best = cells[i].pow
+			}
+		}
+		for i, name := range policies {
+			if cells[i].feasible && best > 0 {
+				wantPow[name] += best / cells[i].pow
+			}
+			if !cells[i].feasible {
+				wantFail[name]++
+			}
+		}
+	}
+
+	for _, name := range policies {
+		s := res.SeriesByName(name)
+		if s == nil {
+			t.Fatalf("missing series %s", name)
+		}
+		// The panel's Welford mean and this plain sum/N may differ in the
+		// last ulp; the underlying per-trial values are identical.
+		if got, want := s.NormPowerInv[0], wantPow[name]/float64(p.Trials); math.Abs(got-want) > 1e-12 {
+			t.Errorf("%s norm power: panel %g, direct core %g", name, got, want)
+		}
+		if got, want := s.FailureRatio[0], wantFail[name]/float64(p.Trials); got != want {
+			t.Errorf("%s failure ratio: panel %g, direct core %g", name, got, want)
+		}
+	}
+}
+
+// The acceptance sweep: a panel over {XY, PR, 2MP, MAXMP, SA} completes
+// and yields one well-formed series per policy.
+func TestFivePolicySweepCompletes(t *testing.T) {
+	p := Figure7a()
+	p.Points = p.Points[:2] // n = 5, 10
+	p.Trials = 3
+	p.Policies = []string{"XY", "PR", "2MP", "MAXMP", "SA"}
+	res, err := p.RunE()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Series) != 5 {
+		t.Fatalf("series count %d", len(res.Series))
+	}
+	for _, name := range p.Policies {
+		s := res.SeriesByName(name)
+		if s == nil {
+			t.Fatalf("missing series %s", name)
+		}
+		for pi := range res.X {
+			if v := s.NormPowerInv[pi]; v < 0 || v > 1+1e-9 {
+				t.Errorf("%s[%d]: normalized value %g outside [0,1]", name, pi, v)
+			}
+			if f := s.FailureRatio[pi]; f < 0 || f > 1 {
+				t.Errorf("%s[%d]: failure ratio %g", name, pi, f)
+			}
+		}
+	}
+}
+
+// Unknown policies are reported, not silently dropped.
+func TestRunEUnknownPolicy(t *testing.T) {
+	p := Figure7a()
+	p.Policies = []string{"XY", "nope"}
+	if _, err := p.RunE(); err == nil {
+		t.Error("unknown policy accepted")
+	}
+}
+
+// Pooling is an optimization, not a semantic change: the scratch-reusing
+// engine reproduces the allocating baseline figure for figure.
+func TestRunMatchesBaseline(t *testing.T) {
+	p := Figure7b()
+	p.Points = p.Points[:3]
+	p.Trials = 10
+	pooled, baseline := p.Run(), p.RunBaseline()
+	for si := range pooled.Series {
+		for pi := range pooled.X {
+			if pooled.Series[si].NormPowerInv[pi] != baseline.Series[si].NormPowerInv[pi] {
+				t.Errorf("%s[%d]: pooled norm power %g != baseline %g",
+					pooled.Series[si].Name, pi,
+					pooled.Series[si].NormPowerInv[pi], baseline.Series[si].NormPowerInv[pi])
+			}
+			if pooled.Series[si].FailureRatio[pi] != baseline.Series[si].FailureRatio[pi] {
+				t.Errorf("%s[%d]: pooled failure %g != baseline %g",
+					pooled.Series[si].Name, pi,
+					pooled.Series[si].FailureRatio[pi], baseline.Series[si].FailureRatio[pi])
+			}
+		}
+	}
+}
+
+// The sweep with length-targeted workloads exercises the pair-cache reuse
+// path of the pooled engine.
+func TestRunMatchesBaselineLengthSweep(t *testing.T) {
+	p := Figure9c()
+	p.Points = p.Points[:2]
+	p.Trials = 6
+	pooled, baseline := p.Run(), p.RunBaseline()
+	for si := range pooled.Series {
+		for pi := range pooled.X {
+			if pooled.Series[si].NormPowerInv[pi] != baseline.Series[si].NormPowerInv[pi] ||
+				pooled.Series[si].FailureRatio[pi] != baseline.Series[si].FailureRatio[pi] {
+				t.Errorf("%s[%d] differs between pooled and baseline", pooled.Series[si].Name, pi)
+			}
+		}
+	}
+}

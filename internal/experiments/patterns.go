@@ -3,9 +3,10 @@ package experiments
 import (
 	"fmt"
 
-	"repro/internal/heur"
 	"repro/internal/mesh"
 	"repro/internal/power"
+	"repro/internal/route"
+	"repro/internal/solve"
 	"repro/internal/tables"
 	"repro/internal/workload"
 )
@@ -33,7 +34,6 @@ type PatternRow struct {
 func RunPatterns(rate float64) ([]PatternRow, error) {
 	m := mesh.MustNew(8, 8)
 	model := power.KimHorowitz()
-	hs := buildHeuristics(Panel{})
 	var rows []PatternRow
 	for _, p := range workload.Patterns() {
 		set, err := workload.Permutation(m, nil, p, rate)
@@ -42,13 +42,14 @@ func RunPatterns(rate float64) ([]PatternRow, error) {
 		}
 		row := PatternRow{Pattern: p, Rate: rate, Flows: len(set), Cells: make(map[string]PatternCell)}
 		bestPow := -1.0
-		for _, h := range hs {
-			res, err := heur.Solve(h, heur.Instance{Mesh: m, Model: model, Comms: set})
+		for _, name := range ConstructiveNames {
+			r, err := solve.Route(name, solve.Instance{Mesh: m, Model: model, Comms: set}, solve.Options{})
 			if err != nil {
 				return nil, err
 			}
+			res := route.Evaluate(r, model)
 			cell := PatternCell{Feasible: res.Feasible, PowerMW: res.Power.Total()}
-			row.Cells[h.Name()] = cell
+			row.Cells[name] = cell
 			if cell.Feasible && (bestPow < 0 || cell.PowerMW < bestPow) {
 				bestPow = cell.PowerMW
 			}

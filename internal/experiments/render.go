@@ -10,9 +10,13 @@ import (
 
 // Tables renders a panel result as the two tables matching the paper's
 // two y-axes: normalized power inverse and failure ratio, one row per
-// x-value, one column per heuristic.
+// x-value, one column per policy of the panel's list.
 func (r Result) Tables() (normPower, failures *tables.Table) {
-	headers := append([]string{r.Panel.XLabel}, HeuristicNames...)
+	headers := make([]string, 0, len(r.Series)+1)
+	headers = append(headers, r.Panel.XLabel)
+	for _, s := range r.Series {
+		headers = append(headers, s.Name)
+	}
 	normPower = tables.New(r.Panel.Title+" — normalized power inverse", headers...)
 	failures = tables.New(r.Panel.Title+" — failure ratio", headers...)
 	for pi, x := range r.X {

@@ -1,27 +1,32 @@
 package experiments
 
 import (
-	"runtime"
-	"sync"
-
 	"repro/internal/comm"
-	"repro/internal/heur"
 	"repro/internal/mesh"
 	"repro/internal/power"
+	"repro/internal/route"
+	"repro/internal/solve"
 	"repro/internal/stats"
 	"repro/internal/workload"
 )
 
-// HeuristicNames is the plotting order of the Section 6 figures.
-var HeuristicNames = []string{"XY", "SG", "IG", "TB", "XYI", "PR", "BEST"}
+// ConstructiveNames are the paper's six constructive single-path
+// heuristics in presentation order — the set BEST minimizes over.
+var ConstructiveNames = []string{"XY", "SG", "IG", "TB", "XYI", "PR"}
 
-// Series is one heuristic's curve across the panel's points: the two
-// y-axes of Figures 7–9.
+// HeuristicNames is the plotting order of the Section 6 figures
+// (the constructive heuristics plus BEST), and the policy list a panel
+// sweeps when Panel.Policies is empty.
+var HeuristicNames = append(append([]string{}, ConstructiveNames...), "BEST")
+
+// Series is one policy's curve across the panel's points: the two y-axes
+// of Figures 7–9.
 type Series struct {
 	Name string
-	// NormPowerInv is the mean of (1/P_heur)/(1/P_BEST) per point, with
-	// failed instances contributing 0 — exactly the paper's
-	// normalization.
+	// NormPowerInv is the mean of (1/P_policy)/(1/P_best) per point, with
+	// failed instances contributing 0 — the paper's normalization, where
+	// P_best is the lowest feasible power any of the panel's policies
+	// found on that instance.
 	NormPowerInv []float64
 	// FailureRatio is the fraction of instances with no valid solution.
 	FailureRatio []float64
@@ -44,29 +49,11 @@ func (r Result) SeriesByName(name string) *Series {
 	return nil
 }
 
-// instanceOutcome is one heuristic's evaluation on one instance.
+// instanceOutcome is one policy's evaluation on one instance.
 type instanceOutcome struct {
 	feasible bool
 	pow      float64
 	static   float64
-}
-
-// trialOutcome is the evaluation of all heuristics on one instance.
-type trialOutcome struct {
-	perHeur []instanceOutcome // indexed like heuristics slice
-}
-
-// buildHeuristics returns the concrete heuristics of a panel in
-// HeuristicNames order (BEST excluded: it is derived from the others).
-func buildHeuristics(p Panel) []heur.Heuristic {
-	return []heur.Heuristic{
-		heur.XY{},
-		heur.SG{Order: p.Order},
-		heur.IG{Order: p.Order},
-		heur.TB{Order: p.Order},
-		heur.XYI{},
-		heur.PR{},
-	}
 }
 
 // model returns the panel's power model.
@@ -77,130 +64,146 @@ func (p Panel) model() power.Model {
 	return power.KimHorowitz()
 }
 
-// Run evaluates the panel: Trials random instances per point (in parallel
-// across instances), every heuristic on every instance, reduced to the
-// normalized-inverse-power and failure-ratio series. Results are
-// deterministic: per-trial seeds are derived from (panel seed, point,
-// trial) and the reduction is ordered.
+// policyNames returns the panel's policy list (default HeuristicNames).
+func (p Panel) policyNames() []string {
+	if len(p.Policies) > 0 {
+		return p.Policies
+	}
+	return HeuristicNames
+}
+
+// Run evaluates the panel: Trials random instances per point (on a pooled
+// engine with per-worker scratch), every policy of the panel's list on
+// every instance, reduced to the normalized-inverse-power and
+// failure-ratio series. Results are deterministic: per-trial seeds are
+// derived from (panel seed, point, trial) and the reduction is ordered.
+// Run panics on an unregistered policy name; RunE reports it as an error.
 func (p Panel) Run() Result {
+	res, err := p.RunE()
+	if err != nil {
+		panic(err)
+	}
+	return res
+}
+
+// RunE is Run returning policy-resolution errors instead of panicking.
+func (p Panel) RunE() (Result, error) {
 	trials := p.Trials
 	if trials == 0 {
 		trials = DefaultTrials
 	}
-	m := mesh.MustNew(8, 8)
-	model := p.model()
-	hs := buildHeuristics(p)
+	e, err := newEngine(p, trials)
+	if err != nil {
+		return Result{}, err
+	}
+	npol := len(e.solvers)
+	return p.reduce(e, trials, func(pi int, pt Point) func(int) []instanceOutcome {
+		e.runPoint(p.Seed, pi, pt)
+		return func(trial int) []instanceOutcome {
+			return e.outcomes[trial*npol : (trial+1)*npol]
+		}
+	}), nil
+}
+
+// RunBaseline is the pre-engine reference runner: the same trials, seeds
+// and reduction as Run, but allocating per trial — a fresh workload
+// generator, a fresh evaluation, fresh outcome rows — instead of reusing
+// worker scratch. It exists so the repository benchmarks can quantify the
+// pooled engine against it and tests can cross-check that pooling never
+// changes a figure.
+func (p Panel) RunBaseline() Result {
+	trials := p.Trials
+	if trials == 0 {
+		trials = DefaultTrials
+	}
+	e, err := newEngine(p, trials)
+	if err != nil {
+		panic(err)
+	}
+	npol := len(e.solvers)
+	return p.reduce(e, trials, func(pi int, pt Point) func(int) []instanceOutcome {
+		outcomes := make([][]instanceOutcome, trials)
+		parallelFor(trials, func(trial int) {
+			seed := trialSeed(p.Seed, pi, trial)
+			set := drawSet(e.m, seed, pt.W)
+			in := solve.Instance{Mesh: e.m, Model: e.model, Comms: set}
+			opts := e.opts
+			opts.Seed = seed
+			row := make([]instanceOutcome, npol)
+			for si, solver := range e.solvers {
+				if si == e.bestIdx {
+					continue
+				}
+				r, err := solver.Route(in, opts)
+				if err != nil {
+					continue
+				}
+				ev := route.Evaluate(r, e.model)
+				row[si] = instanceOutcome{feasible: ev.Feasible, pow: ev.Power.Total(), static: ev.Power.Static}
+			}
+			e.deriveBest(row)
+			outcomes[trial] = row
+		})
+		return func(trial int) []instanceOutcome { return outcomes[trial] }
+	})
+}
+
+// reduce folds per-trial outcome rows into the two series of a panel
+// result: normalized inverse power against the best feasible policy of
+// the row, and failure ratio. runPoint produces the rows of one point;
+// both Run and RunBaseline share this reduction so the benchmark baseline
+// can never drift from the paper's normalization.
+func (p Panel) reduce(e *engine, trials int,
+	runPoint func(pi int, pt Point) func(trial int) []instanceOutcome) Result {
 
 	res := Result{Panel: p, X: make([]float64, len(p.Points))}
-	accPow := make([][]stats.Accumulator, len(HeuristicNames))
-	accFail := make([][]stats.Ratio, len(HeuristicNames))
-	for h := range HeuristicNames {
-		accPow[h] = make([]stats.Accumulator, len(p.Points))
-		accFail[h] = make([]stats.Ratio, len(p.Points))
+	accPow := make([][]stats.Accumulator, len(e.solvers))
+	accFail := make([][]stats.Ratio, len(e.solvers))
+	for si := range e.solvers {
+		accPow[si] = make([]stats.Accumulator, len(p.Points))
+		accFail[si] = make([]stats.Ratio, len(p.Points))
 	}
 
 	for pi, pt := range p.Points {
 		res.X[pi] = pt.X
-		outcomes := make([]trialOutcome, trials)
-		parallelFor(trials, func(trial int) {
-			seed := p.Seed*1_000_003 + int64(pi)*10_007 + int64(trial)
-			set := drawSet(m, seed, pt.W)
-			outcomes[trial] = evaluateInstance(m, model, set, hs)
-		})
-		for _, out := range outcomes {
+		rowAt := runPoint(pi, pt)
+		for trial := 0; trial < trials; trial++ {
+			row := rowAt(trial)
 			best := -1.0
-			for _, o := range out.perHeur {
+			for _, o := range row {
 				if o.feasible && (best < 0 || o.pow < best) {
 					best = o.pow
 				}
 			}
-			for h, o := range out.perHeur {
+			for si, o := range row {
 				val := 0.0
 				if o.feasible && best > 0 {
 					val = best / o.pow // (1/P)/(1/Pbest)
 				}
-				accPow[h][pi].Add(val)
-				accFail[h][pi].Add(!o.feasible)
-			}
-			bi := len(HeuristicNames) - 1 // BEST
-			if best > 0 {
-				accPow[bi][pi].Add(1)
-				accFail[bi][pi].Add(false)
-			} else {
-				accPow[bi][pi].Add(0)
-				accFail[bi][pi].Add(true)
+				accPow[si][pi].Add(val)
+				accFail[si][pi].Add(!o.feasible)
 			}
 		}
 	}
 
-	for h, name := range HeuristicNames {
+	for si, name := range e.names {
 		s := Series{Name: name,
 			NormPowerInv: make([]float64, len(p.Points)),
 			FailureRatio: make([]float64, len(p.Points))}
 		for pi := range p.Points {
-			s.NormPowerInv[pi] = accPow[h][pi].Mean()
-			s.FailureRatio[pi] = accFail[h][pi].Value()
+			s.NormPowerInv[pi] = accPow[si][pi].Mean()
+			s.FailureRatio[pi] = accFail[si][pi].Value()
 		}
 		res.Series = append(res.Series, s)
 	}
 	return res
 }
 
-// drawSet draws one instance of a workload.
+// drawSet draws one instance of a workload with a throwaway generator.
 func drawSet(m *mesh.Mesh, seed int64, w Workload) comm.Set {
 	gen := workload.New(m, seed)
 	if w.Length > 0 {
 		return gen.TargetLength(w.N, w.WMin, w.WMax, w.Length)
 	}
 	return gen.Uniform(w.N, w.WMin, w.WMax)
-}
-
-// evaluateInstance runs every heuristic on the instance.
-func evaluateInstance(m *mesh.Mesh, model power.Model, set comm.Set, hs []heur.Heuristic) trialOutcome {
-	in := heur.Instance{Mesh: m, Model: model, Comms: set}
-	out := trialOutcome{perHeur: make([]instanceOutcome, len(hs))}
-	for i, h := range hs {
-		res, err := heur.Solve(h, in)
-		if err != nil {
-			// Malformed instances cannot occur here; treat defensively
-			// as failure.
-			continue
-		}
-		out.perHeur[i] = instanceOutcome{
-			feasible: res.Feasible,
-			pow:      res.Power.Total(),
-			static:   res.Power.Static,
-		}
-	}
-	return out
-}
-
-// parallelFor runs f(0..n-1) on up to GOMAXPROCS workers.
-func parallelFor(n int, f func(i int)) {
-	workers := runtime.GOMAXPROCS(0)
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		for i := 0; i < n; i++ {
-			f(i)
-		}
-		return
-	}
-	var wg sync.WaitGroup
-	next := make(chan int)
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				f(i)
-			}
-		}()
-	}
-	for i := 0; i < n; i++ {
-		next <- i
-	}
-	close(next)
-	wg.Wait()
 }

@@ -13,8 +13,10 @@ import (
 	"repro/internal/noc"
 	"repro/internal/power"
 	"repro/internal/route"
+	"repro/internal/solve"
 	"repro/internal/stats"
 	"repro/internal/theory"
+	"repro/internal/workload"
 )
 
 // Figure2Powers reproduces the routing-rule comparison of Figure 2 /
@@ -85,7 +87,14 @@ func RunSummary(trialsPerPoint int, seed int64) Summary {
 	}
 	m := mesh.MustNew(8, 8)
 	model := power.KimHorowitz()
-	hs := buildHeuristics(Panel{})
+	solvers := make([]solve.Solver, 0, len(ConstructiveNames))
+	for _, name := range ConstructiveNames {
+		s, err := solve.Lookup(name)
+		if err != nil {
+			panic(err) // ConstructiveNames are always registered
+		}
+		solvers = append(solvers, s)
+	}
 
 	type task struct {
 		w    Workload
@@ -111,22 +120,23 @@ func RunSummary(trialsPerPoint int, seed int64) Summary {
 		times   []time.Duration
 	}
 	outs := make([]outcome, len(tasks))
-	parallelFor(len(tasks), func(ti int) {
-		set := drawSet(m, tasks[ti].seed, tasks[ti].w)
-		in := heur.Instance{Mesh: m, Model: model, Comms: set}
-		o := outcome{perHeur: make([]instanceOutcome, len(hs)), times: make([]time.Duration, len(hs))}
-		for hi, h := range hs {
+	newScratch := func() *scratch {
+		return &scratch{gen: workload.New(m, 0), loads: route.NewLoadTracker(m)}
+	}
+	parallelScratch(len(tasks), newScratch, func(s *scratch, ti int) {
+		set := s.draw(tasks[ti].seed, tasks[ti].w)
+		in := solve.Instance{Mesh: m, Model: model, Comms: set}
+		o := outcome{perHeur: make([]instanceOutcome, len(solvers)), times: make([]time.Duration, len(solvers))}
+		for hi, sv := range solvers {
 			start := time.Now()
-			res, err := heur.Solve(h, in)
+			r, err := sv.Route(in, solve.Options{})
 			o.times[hi] = time.Since(start)
 			if err != nil {
 				continue
 			}
-			o.perHeur[hi] = instanceOutcome{
-				feasible: res.Feasible,
-				pow:      res.Power.Total(),
-				static:   res.Power.Static,
-			}
+			s.loads.SetRouting(r)
+			bd, ok := s.loads.Evaluate(model)
+			o.perHeur[hi] = instanceOutcome{feasible: ok, pow: bd.Total(), static: bd.Static}
 		}
 		outs[ti] = o
 	})

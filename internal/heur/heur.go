@@ -12,28 +12,15 @@ import (
 
 	"repro/internal/comm"
 	"repro/internal/mesh"
-	"repro/internal/power"
 	"repro/internal/route"
+	"repro/internal/solve"
 )
 
 // Instance is one routing problem: a mesh, a power model, and the
-// communication set to route.
-type Instance struct {
-	Mesh  *mesh.Mesh
-	Model power.Model
-	Comms comm.Set
-}
-
-// Validate checks the instance for well-formedness.
-func (in Instance) Validate() error {
-	if in.Mesh == nil {
-		return fmt.Errorf("heur: nil mesh")
-	}
-	if err := in.Model.Validate(); err != nil {
-		return err
-	}
-	return in.Comms.Validate(in.Mesh)
-}
+// communication set to route. It is the registry's solve.Instance — the
+// heuristics predate the unified policy layer and keep their historical
+// name for it.
+type Instance = solve.Instance
 
 // Heuristic computes a single-path routing for an instance. Route always
 // returns a structurally valid routing when err is nil; the routing may

@@ -1,6 +1,8 @@
 package heur
 
 import (
+	"sort"
+
 	"repro/internal/mesh"
 	"repro/internal/power"
 	"repro/internal/route"
@@ -172,19 +174,28 @@ func (e swapEffect) betterThan(o swapEffect) bool {
 }
 
 // swapEffectOf computes the effect of rerouting a flow of the given rate
-// from path old to path new under the current loads.
+// from path old to path new under the current loads. The per-link deltas
+// are accumulated in ascending link-id order: float addition is not
+// associative, so a map-ordered sum would make near-tie accept decisions
+// depend on map iteration order and the "deterministic heuristics"
+// guarantee would silently break.
 func swapEffectOf(m *mesh.Mesh, model power.Model, loads *route.LoadTracker,
 	old, new route.Path, rate float64) swapEffect {
 
-	diff := make(map[int]float64, len(old)+len(new))
+	deltas := make([]linkDelta, 0, len(old)+len(new))
 	for _, l := range old {
-		diff[m.LinkID(l)] -= rate
+		deltas = append(deltas, linkDelta{m.LinkID(l), -rate})
 	}
 	for _, l := range new {
-		diff[m.LinkID(l)] += rate
+		deltas = append(deltas, linkDelta{m.LinkID(l), rate})
 	}
+	sort.Slice(deltas, func(i, j int) bool { return deltas[i].id < deltas[j].id })
 	var e swapEffect
-	for id, d := range diff {
+	for i := 0; i < len(deltas); {
+		id, d := deltas[i].id, deltas[i].d
+		for i++; i < len(deltas) && deltas[i].id == id; i++ {
+			d += deltas[i].d
+		}
 		if d == 0 {
 			continue
 		}
@@ -193,6 +204,12 @@ func swapEffectOf(m *mesh.Mesh, model power.Model, loads *route.LoadTracker,
 		e.excess += overload(model, after) - overload(model, before)
 	}
 	return e
+}
+
+// linkDelta is one link's pending load change during a swap evaluation.
+type linkDelta struct {
+	id int
+	d  float64
 }
 
 func overload(model power.Model, load float64) float64 {

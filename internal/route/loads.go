@@ -113,6 +113,31 @@ func (t *LoadTracker) Power(model power.Model) (power.Breakdown, error) {
 	return model.Total(t.loads)
 }
 
+// SetRouting resets the tracker and accumulates the routing's flows — the
+// scratch-reusing form of Routing.Loads for hot loops.
+func (t *LoadTracker) SetRouting(r Routing) {
+	t.Reset()
+	for _, f := range r.Flows {
+		t.AddPath(f.Path, f.Comm.Rate)
+	}
+}
+
+// Evaluate returns the power breakdown and feasibility of the tracked
+// loads without allocating: infeasible loads report ok=false instead of
+// constructing the overload error that Power returns. It is the
+// allocation-free evaluation used by the experiment engine's per-trial
+// path.
+func (t *LoadTracker) Evaluate(model power.Model) (power.Breakdown, bool) {
+	if !model.Feasible(t.loads) {
+		return power.Breakdown{}, false
+	}
+	b, err := model.Total(t.loads)
+	if err != nil {
+		return power.Breakdown{}, false
+	}
+	return b, true
+}
+
 // LinkPowerWith returns the power of link l if extra were added to its
 // current load. Infeasible loads return +Inf so greedy comparisons
 // naturally avoid them; the error is still reported by the final Evaluate.

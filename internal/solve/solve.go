@@ -1,0 +1,144 @@
+// Package solve is the uniform policy layer of the library: every routing
+// policy family — the Section 5 single-path heuristics, the exact
+// branch-and-bound OPT, the equal-split multi-path rules, the Frank–Wolfe
+// max-MP optimum and the simulated-annealing refiner — presents itself as
+// a Solver and self-registers into a case-insensitive registry. Callers
+// (internal/core, internal/experiments, the commands) dispatch by policy
+// name and pass knobs through a single Options struct instead of
+// constructing per-family struct literals.
+//
+// The registry is populated by init functions in the policy packages
+// (internal/heur, internal/multipath, internal/exact); importing any of
+// them — or internal/core, which imports them all — makes every policy
+// available.
+package solve
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/comm"
+	"repro/internal/mesh"
+	"repro/internal/power"
+	"repro/internal/route"
+)
+
+// Instance is one routing problem: a mesh CMP, a link power model, and the
+// communication set to route.
+type Instance struct {
+	Mesh  *mesh.Mesh
+	Model power.Model
+	Comms comm.Set
+}
+
+// Validate checks the instance for well-formedness.
+func (in Instance) Validate() error {
+	if in.Mesh == nil {
+		return fmt.Errorf("solve: nil mesh")
+	}
+	if err := in.Model.Validate(); err != nil {
+		return err
+	}
+	return in.Comms.Validate(in.Mesh)
+}
+
+// Options carries every tunable a policy may consume. The zero value is
+// always valid and reproduces each policy's documented defaults, so
+// callers that don't care pass Options{}. Policies ignore fields that
+// don't concern them.
+type Options struct {
+	// Seed drives the RNG of stochastic policies (SA); 0 means the
+	// policy's default seed, keeping zero-value determinism.
+	Seed int64
+	// SAIters bounds the simulated-annealing move budget
+	// (0 = 300 moves per communication).
+	SAIters int
+	// FWMaxIters bounds the Frank–Wolfe iterations of MAXMP (0 = 300).
+	FWMaxIters int
+	// FWTolerance is MAXMP's relative duality-gap target (0 = 1e-6).
+	FWTolerance float64
+	// MaxPaths overrides the split count of the equal-split multi-path
+	// policies (0 keeps the policy's own s, e.g. 2 for "2MP").
+	MaxPaths int
+	// Order overrides the communication processing order of the
+	// order-sensitive greedy heuristics (zero value is the paper's
+	// weight-descending).
+	Order comm.Order
+}
+
+// Solver computes a routing for an instance. Route returns a structurally
+// valid routing when err is nil; the routing may still be infeasible (some
+// link over bandwidth), which route.Evaluate exposes via Result.Feasible.
+type Solver interface {
+	// Name is the canonical policy name ("PR", "2MP", ...).
+	Name() string
+	Route(in Instance, opts Options) (route.Routing, error)
+}
+
+var (
+	mu       sync.RWMutex
+	registry = make(map[string]Solver)
+)
+
+// Register adds a solver to the registry under its canonical name.
+// Registration is case-insensitive and panics on duplicates — two policy
+// families claiming the same name is a programming error that must fail
+// loudly at init time, not at first lookup.
+func Register(s Solver) {
+	key := strings.ToUpper(s.Name())
+	mu.Lock()
+	defer mu.Unlock()
+	if prev, ok := registry[key]; ok {
+		panic(fmt.Sprintf("solve: duplicate registration of policy %q (%T and %T)", s.Name(), prev, s))
+	}
+	registry[key] = s
+}
+
+// Lookup resolves a policy name case-insensitively.
+func Lookup(name string) (Solver, error) {
+	mu.RLock()
+	s, ok := registry[strings.ToUpper(name)]
+	mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("solve: unknown policy %q (have %s)", name, strings.Join(Policies(), ", "))
+	}
+	return s, nil
+}
+
+// Policies returns every registered canonical policy name, sorted.
+func Policies() []string {
+	mu.RLock()
+	names := make([]string, 0, len(registry))
+	for _, s := range registry {
+		names = append(names, s.Name())
+	}
+	mu.RUnlock()
+	sort.Strings(names)
+	return names
+}
+
+// Route is the one-shot convenience: look the policy up and route.
+func Route(policy string, in Instance, opts Options) (route.Routing, error) {
+	s, err := Lookup(policy)
+	if err != nil {
+		return route.Routing{}, err
+	}
+	return s.Route(in, opts)
+}
+
+// Func adapts a plain function to the Solver interface, for policies that
+// need no state of their own.
+type Func struct {
+	PolicyName string
+	RouteFunc  func(in Instance, opts Options) (route.Routing, error)
+}
+
+// Name implements Solver.
+func (f Func) Name() string { return f.PolicyName }
+
+// Route implements Solver.
+func (f Func) Route(in Instance, opts Options) (route.Routing, error) {
+	return f.RouteFunc(in, opts)
+}

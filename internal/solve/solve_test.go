@@ -1,0 +1,122 @@
+package solve_test
+
+import (
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/comm"
+	_ "repro/internal/exact" // register OPT
+	"repro/internal/heur"
+	"repro/internal/mesh"
+	"repro/internal/multipath"
+	_ "repro/internal/optflow" // register MAXMP
+	"repro/internal/power"
+	"repro/internal/route"
+	"repro/internal/solve"
+)
+
+func demoInstance(t *testing.T) solve.Instance {
+	t.Helper()
+	return solve.Instance{
+		Mesh:  mesh.MustNew(2, 2),
+		Model: power.Figure2(),
+		Comms: comm.Set{
+			{ID: 1, Src: mesh.Coord{U: 1, V: 1}, Dst: mesh.Coord{U: 2, V: 2}, Rate: 1},
+			{ID: 2, Src: mesh.Coord{U: 1, V: 1}, Dst: mesh.Coord{U: 2, V: 2}, Rate: 3},
+		},
+	}
+}
+
+func TestPoliciesSortedAndComplete(t *testing.T) {
+	names := solve.Policies()
+	if !sort.StringsAreSorted(names) {
+		t.Errorf("Policies() not sorted: %v", names)
+	}
+	have := make(map[string]bool, len(names))
+	for _, n := range names {
+		have[n] = true
+	}
+	for _, want := range []string{"XY", "SG", "IG", "TB", "XYI", "PR", "BEST", "SA", "OPT", "2MP", "4MP", "MAXMP"} {
+		if !have[want] {
+			t.Errorf("Policies() missing %s (got %v)", want, names)
+		}
+	}
+}
+
+func TestLookupCaseInsensitive(t *testing.T) {
+	for _, name := range []string{"PR", "pr", "Pr", "maxmp", "MaxMP", "2mp", "opt", "sa"} {
+		s, err := solve.Lookup(name)
+		if err != nil {
+			t.Errorf("Lookup(%q): %v", name, err)
+			continue
+		}
+		if !strings.EqualFold(s.Name(), name) {
+			t.Errorf("Lookup(%q) resolved to %q", name, s.Name())
+		}
+	}
+}
+
+func TestLookupUnknownErrorText(t *testing.T) {
+	_, err := solve.Lookup("nope")
+	if err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, `unknown policy "nope"`) {
+		t.Errorf("error %q lacks the offending name", msg)
+	}
+	if !strings.Contains(msg, "PR") || !strings.Contains(msg, "MAXMP") {
+		t.Errorf("error %q does not list the registered policies", msg)
+	}
+}
+
+func TestDuplicateRegistrationPanics(t *testing.T) {
+	solve.Register(solve.Func{PolicyName: "DUP-TEST", RouteFunc: nil})
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate registration did not panic")
+		}
+	}()
+	// Same name, different case: the registry is case-insensitive, so this
+	// must still collide.
+	solve.Register(solve.Func{PolicyName: "dup-test", RouteFunc: nil})
+}
+
+func TestRouteMatchesDirectPolicies(t *testing.T) {
+	in := demoInstance(t)
+	direct := map[string]func() (route.Routing, error){
+		"PR": func() (route.Routing, error) { return heur.PR{}.Route(in) },
+		"XY": func() (route.Routing, error) { return heur.XY{}.Route(in) },
+		"2MP": func() (route.Routing, error) {
+			return multipath.EqualSplit{S: 2, Inner: heur.TB{}}.Route(in.Mesh, in.Model, in.Comms)
+		},
+	}
+	for name, f := range direct {
+		want, err := f()
+		if err != nil {
+			t.Fatalf("%s direct: %v", name, err)
+		}
+		got, err := solve.Route(name, in, solve.Options{})
+		if err != nil {
+			t.Fatalf("%s registry: %v", name, err)
+		}
+		if route.Evaluate(got, in.Model).Power.Total() != route.Evaluate(want, in.Model).Power.Total() {
+			t.Errorf("%s: registry power differs from direct call", name)
+		}
+	}
+}
+
+func TestInstanceValidate(t *testing.T) {
+	if err := (solve.Instance{}).Validate(); err == nil {
+		t.Error("nil mesh accepted")
+	}
+	in := demoInstance(t)
+	if err := in.Validate(); err != nil {
+		t.Errorf("valid instance rejected: %v", err)
+	}
+	in.Model = power.Model{}
+	if err := in.Validate(); err == nil {
+		t.Error("zero model accepted")
+	}
+}

@@ -29,6 +29,12 @@ func New(m *mesh.Mesh, seed int64) *Generator {
 // Mesh returns the generator's mesh.
 func (g *Generator) Mesh() *mesh.Mesh { return g.mesh }
 
+// Reseed restarts the generator's random stream at seed. The subsequent
+// draws are identical to a fresh New(m, seed) generator while keeping the
+// pair cache warm — the experiment engine reseeds one generator per worker
+// instead of allocating one per trial.
+func (g *Generator) Reseed(seed int64) { g.rng.Seed(seed) }
+
 // rate draws a weight uniformly from [wmin, wmax] (Mb/s), the paper's
 // weight distributions (e.g. "between 100 Mb/s and 1500 Mb/s").
 func (g *Generator) rate(wmin, wmax float64) float64 {
@@ -42,7 +48,17 @@ func (g *Generator) rate(wmin, wmax float64) float64 {
 // cores (re-drawn until distinct) and weights uniform in [wmin, wmax] —
 // the workload of Sections 6.1 and 6.2 ("random source and sink nodes").
 func (g *Generator) Uniform(n int, wmin, wmax float64) comm.Set {
-	set := make(comm.Set, 0, n)
+	return g.UniformInto(nil, n, wmin, wmax)
+}
+
+// UniformInto is Uniform drawing into dst's storage (grown as needed),
+// so per-trial loops can reuse one buffer. The draws are identical to
+// Uniform's.
+func (g *Generator) UniformInto(dst comm.Set, n int, wmin, wmax float64) comm.Set {
+	set := dst[:0]
+	if cap(set) < n {
+		set = make(comm.Set, 0, n)
+	}
 	for i := 0; i < n; i++ {
 		var src, dst mesh.Coord
 		for {
@@ -63,11 +79,20 @@ func (g *Generator) Uniform(n int, wmin, wmax float64) comm.Set {
 // among all ordered pairs at exactly that distance. It panics if no pair
 // of the mesh has the requested distance.
 func (g *Generator) TargetLength(n int, wmin, wmax float64, length int) comm.Set {
+	return g.TargetLengthInto(nil, n, wmin, wmax, length)
+}
+
+// TargetLengthInto is TargetLength drawing into dst's storage (grown as
+// needed), reusing the per-distance pair cache across calls.
+func (g *Generator) TargetLengthInto(dst comm.Set, n int, wmin, wmax float64, length int) comm.Set {
 	pairs := g.pairsAt(length)
 	if len(pairs) == 0 {
 		panic(fmt.Sprintf("workload: no core pair at distance %d on %v", length, g.mesh))
 	}
-	set := make(comm.Set, 0, n)
+	set := dst[:0]
+	if cap(set) < n {
+		set = make(comm.Set, 0, n)
+	}
 	for i := 0; i < n; i++ {
 		p := pairs[g.rng.Intn(len(pairs))]
 		set = append(set, comm.Comm{ID: i, Src: p[0], Dst: p[1], Rate: g.rate(wmin, wmax)})
