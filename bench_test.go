@@ -205,14 +205,13 @@ func BenchmarkPanelRunner(b *testing.B) {
 }
 
 // maxAllocsPerTrial locks in the pooled runner's allocation discipline:
-// the engine's own per-trial path (workload draw, dispatch, evaluation,
-// outcome storage) reuses worker scratch, so per-trial allocations are
-// only what the routed policy itself needs — for XY on n=40 that is the
-// paths map, the flow slice and one route.Path per communication, well
-// under this bound. A regression that starts allocating per trial in the
-// engine (fresh generators, fresh load vectors, fresh outcome rows) blows
-// straight through it.
-const maxAllocsPerTrial = 256
+// the engine's per-trial path reuses worker scratch AND hands each policy
+// the worker's dense route.Workspace, so a trial costs only instance
+// validation and interface plumbing (~8 allocs for XY at n=70, down from
+// ~147 before the workspace layer). A regression that reverts to
+// per-trial allocation anywhere — engine scratch or solver internals —
+// blows straight through this bound.
+const maxAllocsPerTrial = 24
 
 // Allocation guard on the pooled panel runner's per-trial path.
 func BenchmarkPanelTrialAllocs(b *testing.B) {

@@ -4,9 +4,17 @@
 // static communication workloads on mesh CMPs with DVFS-scalable links.
 //
 // The root package carries the repository-level benchmark harness
-// (bench_test.go), with one benchmark per table and figure of the paper's
-// evaluation; the library lives under internal/ with internal/core as the
-// public facade and internal/solve as the policy registry every routing
-// family registers into. See README.md for the quickstart, the policy
-// table and the package map.
+// (bench_test.go and bench_solvers_test.go), with one benchmark per table
+// and figure of the paper's evaluation plus per-policy solver benchmarks
+// and allocation guards; the library lives under internal/ with
+// internal/core as the public facade and internal/solve as the policy
+// registry every routing family registers into.
+//
+// Solvers run against dense reusable workspaces (route.Workspace): pooled
+// per-comm path slots, load trackers and coord bitsets replace the
+// per-call map state the policies historically rebuilt, so a warmed
+// workspace routes with ~zero allocations. Reuse is opt-in via
+// solve.Options.Workspace; results are identical with or without it. See
+// README.md for the quickstart, the policy table, the package map and the
+// workspace pooling contract.
 package repro

@@ -7,7 +7,7 @@ package comm
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"repro/internal/mesh"
 )
@@ -132,7 +132,15 @@ func (o Order) String() string {
 // Sorted returns a copy of the set sorted by the given order. Ties break
 // by ID so the result is deterministic.
 func (s Set) Sorted(o Order) Set {
-	out := s.Clone()
+	return s.SortedInto(nil, o)
+}
+
+// SortedInto is Sorted building into dst (reusing its backing array) — the
+// scratch-reusing form for the greedy heuristics' per-call ordering. The
+// ordering is identical to Sorted: the requested order with ties broken by
+// increasing ID, a total order on valid (unique-ID) sets.
+func (s Set) SortedInto(dst Set, o Order) Set {
+	out := append(dst[:0], s...)
 	less := func(a, b Comm) bool { return a.Rate > b.Rate }
 	switch o {
 	case ByWeightAsc:
@@ -148,14 +156,14 @@ func (s Set) Sorted(o Order) Set {
 			return a.Rate/float64(la) > b.Rate/float64(lb)
 		}
 	}
-	sort.SliceStable(out, func(i, j int) bool {
-		if less(out[i], out[j]) {
-			return true
+	slices.SortFunc(out, func(a, b Comm) int {
+		if less(a, b) {
+			return -1
 		}
-		if less(out[j], out[i]) {
-			return false
+		if less(b, a) {
+			return 1
 		}
-		return out[i].ID < out[j].ID
+		return a.ID - b.ID
 	})
 	return out
 }

@@ -84,6 +84,13 @@ func (in *Instance) Solve(policy string) (*Solution, error) {
 
 // SolveWith routes the instance with the named policy, passing the options
 // through to the policy (seeds, iteration budgets, split counts, orders).
+//
+// Callers solving many instances on one goroutine can set
+// Options.Workspace (a route.NewWorkspace()) to reuse dense solver scratch
+// across calls; the returned Solution's Routing then aliases workspace
+// memory and is only valid until the next workspace-reusing call — keep it
+// longer with Routing.Clone. Without a workspace every solve allocates
+// fresh, and results are identical either way.
 func (in *Instance) SolveWith(policy string, opts Options) (*Solution, error) {
 	s, err := solve.Lookup(policy)
 	if err != nil {

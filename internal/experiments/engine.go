@@ -15,9 +15,11 @@ import (
 // engine is the pooled trial runner behind Panel.Run: the panel's policy
 // list resolved against the solve registry once, plus a flat outcome
 // buffer reused across points so the per-trial path allocates nothing of
-// its own. Solver-internal allocations (path maps, flow slices) are the
-// policies' business; everything the engine layer touches — workload
-// buffers, load tracking, outcome storage — is per-worker scratch.
+// its own. Everything the engine layer touches — workload buffers, load
+// tracking, outcome storage — is per-worker scratch, and each worker also
+// carries a route.Workspace handed to the policies via Options.Workspace,
+// so solver-internal state (path slots, trackers, frontier bitsets) is
+// reused across trials too.
 type engine struct {
 	m       *mesh.Mesh
 	model   power.Model
@@ -80,15 +82,19 @@ func newEngine(p Panel, trials int) (*engine, error) {
 	return e, nil
 }
 
-// scratch is one worker's private reusable state.
+// scratch is one worker's private reusable state: the workload buffers and
+// evaluation tracker of the engine layer, plus the dense solver workspace
+// every policy routes into (so solver-internal state — path slots, load
+// trackers, frontier bitsets — is reused across the worker's trials too).
 type scratch struct {
 	gen   *workload.Generator
 	set   comm.Set
 	loads *route.LoadTracker
+	ws    *route.Workspace
 }
 
 func (e *engine) newScratch() *scratch {
-	return &scratch{gen: workload.New(e.m, 0), loads: route.NewLoadTracker(e.m)}
+	return &scratch{gen: workload.New(e.m, 0), loads: route.NewLoadTracker(e.m), ws: route.NewWorkspace()}
 }
 
 // trialSeed derives the deterministic per-trial seed: the historical
@@ -121,6 +127,7 @@ func (e *engine) runPoint(panelSeed int64, pi int, pt Point) {
 		in := solve.Instance{Mesh: e.m, Model: e.model, Comms: set}
 		opts := e.opts
 		opts.Seed = seed
+		opts.Workspace = s.ws
 		row := e.outcomes[trial*npol : (trial+1)*npol]
 		for si, solver := range e.solvers {
 			if si == e.bestIdx {

@@ -121,7 +121,7 @@ func RunSummary(trialsPerPoint int, seed int64) Summary {
 	}
 	outs := make([]outcome, len(tasks))
 	newScratch := func() *scratch {
-		return &scratch{gen: workload.New(m, 0), loads: route.NewLoadTracker(m)}
+		return &scratch{gen: workload.New(m, 0), loads: route.NewLoadTracker(m), ws: route.NewWorkspace()}
 	}
 	parallelScratch(len(tasks), newScratch, func(s *scratch, ti int) {
 		set := s.draw(tasks[ti].seed, tasks[ti].w)
@@ -129,7 +129,7 @@ func RunSummary(trialsPerPoint int, seed int64) Summary {
 		o := outcome{perHeur: make([]instanceOutcome, len(solvers)), times: make([]time.Duration, len(solvers))}
 		for hi, sv := range solvers {
 			start := time.Now()
-			r, err := sv.Route(in, solve.Options{})
+			r, err := sv.Route(in, solve.Options{Workspace: s.ws})
 			o.times[hi] = time.Since(start)
 			if err != nil {
 				continue

@@ -21,6 +21,14 @@ func (Best) Name() string { return "BEST" }
 
 // Route implements Heuristic.
 func (b Best) Route(in Instance) (route.Routing, error) {
+	return b.RouteInto(in, route.NewWorkspace())
+}
+
+// RouteInto implements WorkspaceRouter. Candidates share the workspace, so
+// only the winner's index is remembered while scanning; the winner is
+// re-routed at the end (heuristics are deterministic) so the returned
+// routing occupies the workspace's slots without any copying.
+func (b Best) RouteInto(in Instance, ws *route.Workspace) (route.Routing, error) {
 	hs := b.Heuristics
 	if hs == nil {
 		hs = All()
@@ -28,26 +36,28 @@ func (b Best) Route(in Instance) (route.Routing, error) {
 	if len(hs) == 0 {
 		return route.Routing{}, fmt.Errorf("heur: BEST with no candidates")
 	}
-	var bestFeasible *route.Result
-	var leastOverloaded *route.Result
-	for _, h := range hs {
-		r, err := h.Route(in)
+	ws.Bind(in.Mesh)
+	bestIdx, loIdx := -1, -1
+	var bestPow, loMax float64
+	for i, h := range hs {
+		r, err := RouteWith(h, in, ws)
 		if err != nil {
 			return route.Routing{}, fmt.Errorf("BEST: %s: %w", h.Name(), err)
 		}
-		res := route.Evaluate(r, in.Model)
-		if res.Feasible {
-			if bestFeasible == nil || res.Power.Total() < bestFeasible.Power.Total() {
-				cp := res
-				bestFeasible = &cp
+		tr := ws.Tracker()
+		tr.SetRouting(r)
+		bd, ok := tr.Evaluate(in.Model)
+		if ok {
+			if bestIdx < 0 || bd.Total() < bestPow {
+				bestIdx, bestPow = i, bd.Total()
 			}
-		} else if leastOverloaded == nil || res.MaxLoad() < leastOverloaded.MaxLoad() {
-			cp := res
-			leastOverloaded = &cp
+		} else if ml := tr.MaxLoad(); loIdx < 0 || ml < loMax {
+			loIdx, loMax = i, ml
 		}
 	}
-	if bestFeasible != nil {
-		return bestFeasible.Routing, nil
+	winner := bestIdx
+	if winner < 0 {
+		winner = loIdx
 	}
-	return leastOverloaded.Routing, nil
+	return RouteWith(hs[winner], in, ws)
 }

@@ -32,6 +32,27 @@ type Heuristic interface {
 	Route(in Instance) (route.Routing, error)
 }
 
+// WorkspaceRouter is implemented by heuristics that can route against a
+// reusable dense workspace (all of this package's heuristics do). RouteInto
+// produces bit-for-bit the same routing as Route, but reuses the
+// workspace's per-comm path slots, load tracker and scratch buffers; the
+// returned routing aliases workspace memory per the route.Workspace
+// pooling contract.
+type WorkspaceRouter interface {
+	Heuristic
+	RouteInto(in Instance, ws *route.Workspace) (route.Routing, error)
+}
+
+// RouteWith routes with h, reusing ws when h supports it (ws may be nil).
+func RouteWith(h Heuristic, in Instance, ws *route.Workspace) (route.Routing, error) {
+	if ws != nil {
+		if wr, ok := h.(WorkspaceRouter); ok {
+			return wr.RouteInto(in, ws)
+		}
+	}
+	return h.Route(in)
+}
+
 // Solve routes the instance with h and evaluates loads, feasibility and
 // power under the instance's model.
 func Solve(h Heuristic, in Instance) (route.Result, error) {
@@ -66,17 +87,55 @@ func ByName(name string) (Heuristic, error) {
 	return nil, fmt.Errorf("heur: unknown heuristic %q", name)
 }
 
-// order is the processing order used by the greedy heuristics. It is a
-// package-level variable only so the ordering-ablation benchmark can vary
-// it; production code always sees the paper's ByWeightDesc.
-func ordered(set comm.Set, o comm.Order) comm.Set { return set.Sorted(o) }
+// heurScratch is the pooled per-workspace scratch shared by the greedy
+// heuristics: the sorted processing order, frontier and hot-link buffers,
+// candidate-path double buffer, move-sequence buffers and the swap-effect
+// delta list. One instance lives in each workspace under the "heur" slot.
+type heurScratch struct {
+	ordered comm.Set
+	// frontier is the AppendFrontierLinks buffer of IG and PR.
+	frontier []mesh.Link
+	// list is the LinksByLoadDescInto buffer of XYI.
+	list []mesh.Link
+	// cand/best double-buffer candidate paths (TB, XYI, SA): the current
+	// candidate is built in cand and swapped into best when it wins.
+	cand, best route.Path
+	// moves/moves2 are the move-sequence buffers of XYI's moveOff.
+	moves, moves2 []mesh.Dir
+	deltas        []linkDelta
+	// bestPaths is SA's best-routing-so-far snapshot.
+	bestPaths route.PathSet
+}
 
-// singlePathRouting assembles a Routing from one path per communication,
-// preserving the original set order.
-func singlePathRouting(m *mesh.Mesh, set comm.Set, paths map[int]route.Path) route.Routing {
-	flows := make([]route.Flow, 0, len(set))
-	for _, c := range set {
-		flows = append(flows, route.Flow{Comm: c, Path: paths[c.ID]})
+// scratchOf returns the workspace's pooled heuristic scratch.
+func scratchOf(ws *route.Workspace) *heurScratch {
+	return ws.Scratch("heur", func() any { return new(heurScratch) }).(*heurScratch)
+}
+
+// orderedInto sorts the set into the scratch's reusable order buffer.
+func (sc *heurScratch) orderedInto(set comm.Set, o comm.Order) comm.Set {
+	sc.ordered = set.SortedInto(sc.ordered, o)
+	return sc.ordered
+}
+
+// prepare binds the workspace and sizes its path slots for the instance —
+// the common preamble of every RouteInto.
+func prepare(in Instance, ws *route.Workspace) *route.PathSet {
+	ws.Bind(in.Mesh)
+	ps := ws.Paths()
+	ps.ResetFor(in.Comms)
+	return ps
+}
+
+// singlePathRouting assembles a Routing from the workspace's per-comm path
+// slots, preserving the original set order. The flow list aliases the
+// workspace's pooled buffer.
+func singlePathRouting(in Instance, ws *route.Workspace) route.Routing {
+	flows := ws.Flows(len(in.Comms))
+	ps := ws.Paths()
+	for _, c := range in.Comms {
+		flows = append(flows, route.Flow{Comm: c, Path: ps.Get(c.ID)})
 	}
-	return route.Routing{Mesh: m, Flows: flows}
+	ws.SetFlows(flows)
+	return route.Routing{Mesh: in.Mesh, Flows: flows}
 }

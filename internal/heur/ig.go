@@ -25,37 +25,44 @@ func (IG) Name() string { return "IG" }
 
 // Route implements Heuristic.
 func (h IG) Route(in Instance) (route.Routing, error) {
-	loads := route.NewLoadTracker(in.Mesh)
+	return h.RouteInto(in, route.NewWorkspace())
+}
+
+// RouteInto implements WorkspaceRouter.
+func (h IG) RouteInto(in Instance, ws *route.Workspace) (route.Routing, error) {
+	ps := prepare(in, ws)
+	loads := ws.Tracker()
+	sc := scratchOf(ws)
 	for _, c := range in.Comms {
-		addIdealShare(in.Mesh, loads, c, +1)
+		addIdealShare(in.Mesh, loads, sc, c, +1)
 	}
 
-	paths := make(map[int]route.Path, len(in.Comms))
-	for _, c := range ordered(in.Comms, h.Order) {
-		addIdealShare(in.Mesh, loads, c, -1)
-		p := igPath(in, loads, c)
+	for _, c := range sc.orderedInto(in.Comms, h.Order) {
+		addIdealShare(in.Mesh, loads, sc, c, -1)
+		p := igPathInto(ps.Acquire(c.ID, c.Length()), in, loads, sc, c)
 		loads.AddPath(p, c.Rate)
-		paths[c.ID] = p
+		ps.Set(c.ID, p)
 	}
-	return singlePathRouting(in.Mesh, in.Comms, paths), nil
+	return singlePathRouting(in, ws), nil
 }
 
 // addIdealShare adds (sign=+1) or removes (sign=-1) the Figure-3 virtual
 // pre-routing of c: at every step t, δ/|frontier(t)| on each admissible
 // link between the t-th and (t+1)-th diagonals of c's bounding box.
-func addIdealShare(m *mesh.Mesh, loads *route.LoadTracker, c comm.Comm, sign float64) {
+func addIdealShare(m *mesh.Mesh, loads *route.LoadTracker, sc *heurScratch, c comm.Comm, sign float64) {
 	for t := 0; t < c.Length(); t++ {
-		frontier := m.FrontierLinks(c.Src, c.Dst, t)
-		share := sign * c.Rate / float64(len(frontier))
-		for _, l := range frontier {
+		sc.frontier = m.AppendFrontierLinks(sc.frontier[:0], c.Src, c.Dst, t)
+		share := sign * c.Rate / float64(len(sc.frontier))
+		for _, l := range sc.frontier {
 			loads.Add(l, share)
 		}
 	}
 }
 
-// igPath builds the single path for c using the power-to-go lower bound.
-func igPath(in Instance, loads *route.LoadTracker, c comm.Comm) route.Path {
-	return greedyPath(in.Mesh, loads, c, func(cand mesh.Link, next mesh.Coord) float64 {
+// igPathInto builds the single path for c using the power-to-go lower
+// bound, appending onto p.
+func igPathInto(p route.Path, in Instance, loads *route.LoadTracker, sc *heurScratch, c comm.Comm) route.Path {
+	return greedyPathInto(p, c, func(cand mesh.Link, next mesh.Coord) float64 {
 		// Power of the candidate link with c on it…
 		bound := loads.LinkPowerWith(in.Model, cand, c.Rate)
 		// …plus, for each remaining diagonal between next and the sink,
@@ -63,14 +70,15 @@ func igPath(in Instance, loads *route.LoadTracker, c comm.Comm) route.Path {
 		rest := comm.Comm{ID: c.ID, Src: next, Dst: c.Dst, Rate: c.Rate}
 		for t := 0; t < rest.Length(); t++ {
 			best := -1.0
-			for _, l := range in.Mesh.FrontierLinks(rest.Src, rest.Dst, t) {
+			sc.frontier = in.Mesh.AppendFrontierLinks(sc.frontier[:0], rest.Src, rest.Dst, t)
+			for _, l := range sc.frontier {
 				if load := loads.Load(l); best < 0 || load < best {
 					best = load
 				}
 			}
 			if best >= 0 {
-				p, err := in.Model.LinkPower(best + c.Rate)
-				if err != nil {
+				p, ok := in.Model.LinkPowerOK(best + c.Rate)
+				if !ok {
 					p = inf
 				}
 				bound += p

@@ -1,7 +1,7 @@
 package heur
 
 import (
-	"sort"
+	"slices"
 
 	"repro/internal/comm"
 	"repro/internal/mesh"
@@ -36,6 +36,8 @@ type prState struct {
 	c comm.Comm
 	// steps[t] lists the link IDs still allowed at diagonal step t;
 	// every listed link lies on at least one remaining src→dst path.
+	// The inner lists come from the scratch's list pool and only ever
+	// shrink after construction.
 	steps [][]int
 	// initSizes[t] is the original frontier width of step t, used as the
 	// share denominator under the StaticShares ablation.
@@ -44,38 +46,117 @@ type prState struct {
 	multi     bool // true while more than one path remains
 }
 
+// prScratch is the pooled dense state of the PR heuristic: per-comm DAG
+// states, a link-id-indexed comm index replacing the map[int][]int, the
+// leveled coord bitsets of the reachability sweeps, and the removal-order
+// and frontier buffers. One instance lives in each workspace under the
+// "heur.pr" slot.
+type prScratch struct {
+	states []prState
+	// lists pools the steps' link-id lists; nextList is the bump pointer.
+	lists    [][]int
+	nextList int
+	// commsByLink[id] lists indices into states of communications whose
+	// remaining DAG includes link id (dense over LinkIDSpace).
+	commsByLink [][]int
+	// mark is a generation-stamped link-id set (the "remaining links of
+	// this communication" set of the index rebuild).
+	mark    []int
+	markGen int
+	order   []int
+	list    []mesh.Link
+	// fwd and bwd are the per-level reachability bitsets of remove; the
+	// first two fwd entries double as the ping-pong frontier of reachable.
+	fwd, bwd []route.CoordSet
+}
+
+func prScratchOf(ws *route.Workspace) *prScratch {
+	return ws.Scratch("heur.pr", func() any { return new(prScratch) }).(*prScratch)
+}
+
+// newList returns an empty pooled []int with the given capacity.
+func (sc *prScratch) newList(capHint int) []int {
+	if sc.nextList == len(sc.lists) {
+		sc.lists = append(sc.lists, make([]int, 0, capHint))
+	}
+	l := sc.lists[sc.nextList]
+	if cap(l) < capHint {
+		l = make([]int, 0, capHint)
+		sc.lists[sc.nextList] = l
+	}
+	sc.nextList++
+	return l[:0]
+}
+
+// levels grows dst to n bitsets sized for m, each cleared, and returns it.
+func levels(dst []route.CoordSet, n int, m *mesh.Mesh) []route.CoordSet {
+	if cap(dst) < n {
+		next := make([]route.CoordSet, n)
+		copy(next, dst[:cap(dst)])
+		dst = next
+	}
+	dst = dst[:n]
+	for i := range dst {
+		dst[i].Reset(m)
+	}
+	return dst
+}
+
 // Route implements Heuristic.
 func (h PR) Route(in Instance) (route.Routing, error) {
-	m := in.Mesh
-	loads := route.NewLoadTracker(m)
+	return h.RouteInto(in, route.NewWorkspace())
+}
 
-	// commsByLink[id] lists indices into states of communications whose
-	// remaining DAG includes link id.
-	commsByLink := make(map[int][]int)
-	states := make([]*prState, len(in.Comms))
+// RouteInto implements WorkspaceRouter.
+func (h PR) RouteInto(in Instance, ws *route.Workspace) (route.Routing, error) {
+	m := in.Mesh
+	ps := prepare(in, ws)
+	loads := ws.Tracker()
+	hsc := scratchOf(ws)
+	sc := prScratchOf(ws)
+	sc.nextList = 0
+	if cap(sc.states) < len(in.Comms) {
+		sc.states = make([]prState, len(in.Comms))
+	}
+	sc.states = sc.states[:len(in.Comms)]
+	if len(sc.commsByLink) != m.LinkIDSpace() {
+		sc.commsByLink = make([][]int, m.LinkIDSpace())
+		sc.mark = make([]int, m.LinkIDSpace())
+		sc.markGen = 0
+	}
+	for id := range sc.commsByLink {
+		sc.commsByLink[id] = sc.commsByLink[id][:0]
+	}
+
 	for i, c := range in.Comms {
-		st := &prState{c: c, steps: make([][]int, c.Length()), static: h.StaticShares}
-		for t := 0; t < c.Length(); t++ {
-			for _, l := range m.FrontierLinks(c.Src, c.Dst, t) {
-				id := m.LinkID(l)
-				st.steps[t] = append(st.steps[t], id)
-				commsByLink[id] = append(commsByLink[id], i)
-			}
+		st := &sc.states[i]
+		st.c, st.static = c, h.StaticShares
+		if cap(st.steps) < c.Length() {
+			st.steps = make([][]int, c.Length())
 		}
-		st.initSizes = make([]int, len(st.steps))
-		for t, step := range st.steps {
-			st.initSizes[t] = len(step)
+		st.steps = st.steps[:c.Length()]
+		st.initSizes = st.initSizes[:0]
+		for t := 0; t < c.Length(); t++ {
+			hsc.frontier = m.AppendFrontierLinks(hsc.frontier[:0], c.Src, c.Dst, t)
+			step := sc.newList(len(hsc.frontier))
+			for _, l := range hsc.frontier {
+				id := m.LinkID(l)
+				step = append(step, id)
+				sc.commsByLink[id] = append(sc.commsByLink[id], i)
+			}
+			st.steps[t] = step
+			st.initSizes = append(st.initSizes, len(step))
 		}
 		st.refreshMulti()
-		states[i] = st
 		st.addShares(m, loads, +1)
 	}
 
-	for anyMulti(states) {
+	for anyMulti(sc.states) {
 		progressed := false
-		for _, l := range loads.LinksByLoadDesc() {
+		sc.list = loads.LinksByLoadDescInto(sc.list)
+		for _, l := range sc.list {
 			id := m.LinkID(l)
-			if removeFromHeaviest(m, loads, states, commsByLink, id) {
+			if removeFromHeaviest(m, loads, sc, id) {
 				progressed = true
 				break
 			}
@@ -87,15 +168,15 @@ func (h PR) Route(in Instance) (route.Routing, error) {
 		}
 	}
 
-	paths := make(map[int]route.Path, len(in.Comms))
-	for _, st := range states {
-		p := make(route.Path, 0, len(st.steps))
+	for i := range sc.states {
+		st := &sc.states[i]
+		p := ps.Acquire(st.c.ID, len(st.steps))
 		for _, step := range st.steps {
 			p = append(p, m.LinkByID(step[0]))
 		}
-		paths[st.c.ID] = p
+		ps.Set(st.c.ID, p)
 	}
-	return singlePathRouting(m, in.Comms, paths), nil
+	return singlePathRouting(in, ws), nil
 }
 
 // removeFromHeaviest tries to delete link id from the heaviest multi-path
@@ -103,44 +184,47 @@ func (h PR) Route(in Instance) (route.Routing, error) {
 // removal would break its last remaining path […] we consider removing the
 // second communication, and so on"). It reports whether a removal was
 // applied.
-func removeFromHeaviest(m *mesh.Mesh, loads *route.LoadTracker,
-	states []*prState, commsByLink map[int][]int, id int) bool {
-
-	users := commsByLink[id]
-	order := make([]int, 0, len(users))
-	for _, i := range users {
+func removeFromHeaviest(m *mesh.Mesh, loads *route.LoadTracker, sc *prScratch, id int) bool {
+	states := sc.states
+	order := sc.order[:0]
+	for _, i := range sc.commsByLink[id] {
 		if states[i].multi {
 			order = append(order, i)
 		}
 	}
-	sort.Slice(order, func(a, b int) bool {
-		if states[order[a]].c.Rate != states[order[b]].c.Rate {
-			return states[order[a]].c.Rate > states[order[b]].c.Rate
+	sc.order = order
+	slices.SortFunc(order, func(a, b int) int {
+		if states[a].c.Rate != states[b].c.Rate {
+			if states[a].c.Rate > states[b].c.Rate {
+				return -1
+			}
+			return 1
 		}
-		return states[order[a]].c.ID < states[order[b]].c.ID
+		return states[a].c.ID - states[b].c.ID
 	})
 	for _, i := range order {
-		st := states[i]
-		if !st.canRemove(m, id) {
+		st := &states[i]
+		if !st.canRemove(m, sc, id) {
 			continue
 		}
 		st.addShares(m, loads, -1)
-		st.remove(m, id)
+		st.remove(m, sc, id)
 		st.addShares(m, loads, +1)
-		// Rebuild the link→comm index entries for this communication.
-		remaining := make(map[int]bool)
+		// Rebuild the link→comm index entries for this communication:
+		// mark the surviving links, then drop i from every other list.
+		sc.markGen++
 		for _, step := range st.steps {
 			for _, lid := range step {
-				remaining[lid] = true
+				sc.mark[lid] = sc.markGen
 			}
 		}
-		for lid, list := range commsByLink {
-			if remaining[lid] {
+		for lid, list := range sc.commsByLink {
+			if sc.mark[lid] == sc.markGen {
 				continue
 			}
 			for j, ci := range list {
 				if ci == i {
-					commsByLink[lid] = append(list[:j], list[j+1:]...)
+					sc.commsByLink[lid] = append(list[:j], list[j+1:]...)
 					break
 				}
 			}
@@ -179,7 +263,7 @@ func (st *prState) refreshMulti() {
 
 // canRemove reports whether deleting link id keeps at least one src→dst
 // path in the communication's DAG.
-func (st *prState) canRemove(m *mesh.Mesh, id int) bool {
+func (st *prState) canRemove(m *mesh.Mesh, sc *prScratch, id int) bool {
 	present := false
 	for _, step := range st.steps {
 		for _, lid := range step {
@@ -191,65 +275,65 @@ func (st *prState) canRemove(m *mesh.Mesh, id int) bool {
 	if !present {
 		return false
 	}
-	return st.reachable(m, id)
+	return st.reachable(m, sc, id)
 }
 
 // reachable runs a forward sweep through the step DAG skipping link id and
 // reports whether the sink is still reached.
-func (st *prState) reachable(m *mesh.Mesh, skip int) bool {
+func (st *prState) reachable(m *mesh.Mesh, sc *prScratch, skip int) bool {
 	if len(st.steps) == 0 {
 		return true
 	}
-	frontier := map[mesh.Coord]bool{st.c.Src: true}
+	sc.fwd = levels(sc.fwd, 2, m)
+	frontier, next := &sc.fwd[0], &sc.fwd[1]
+	frontier.Add(st.c.Src)
 	for _, step := range st.steps {
-		next := make(map[mesh.Coord]bool)
 		for _, lid := range step {
 			if lid == skip {
 				continue
 			}
 			l := m.LinkByID(lid)
-			if frontier[l.From] {
-				next[l.To] = true
+			if frontier.Has(l.From) {
+				next.Add(l.To)
 			}
 		}
-		if len(next) == 0 {
+		if next.Len() == 0 {
 			return false
 		}
-		frontier = next
+		frontier, next = next, frontier
+		next.Reset(m)
 	}
-	return frontier[st.c.Dst]
+	return frontier.Has(st.c.Dst)
 }
 
 // remove deletes link id and prunes every link no longer on a src→dst
 // path (forward ∩ backward reachability), the paper's cleaning step.
-func (st *prState) remove(m *mesh.Mesh, id int) {
+func (st *prState) remove(m *mesh.Mesh, sc *prScratch, id int) {
 	// Forward-reachable cores per diagonal level.
-	fwd := make([]map[mesh.Coord]bool, len(st.steps)+1)
-	fwd[0] = map[mesh.Coord]bool{st.c.Src: true}
+	sc.fwd = levels(sc.fwd, len(st.steps)+1, m)
+	sc.fwd[0].Add(st.c.Src)
 	for t, step := range st.steps {
-		fwd[t+1] = make(map[mesh.Coord]bool)
 		for _, lid := range step {
 			if lid == id {
 				continue
 			}
 			l := m.LinkByID(lid)
-			if fwd[t][l.From] {
-				fwd[t+1][l.To] = true
+			if sc.fwd[t].Has(l.From) {
+				sc.fwd[t+1].Add(l.To)
 			}
 		}
 	}
 	// Backward-reachable cores per level.
-	bwd := make([]map[mesh.Coord]bool, len(st.steps)+1)
-	bwd[len(st.steps)] = map[mesh.Coord]bool{st.c.Dst: true}
+	sc.bwd = levels(sc.bwd, len(st.steps)+1, m)
+	sc.bwd[len(st.steps)].Add(st.c.Dst)
 	for t := len(st.steps) - 1; t >= 0; t-- {
-		bwd[t] = make(map[mesh.Coord]bool)
 		for _, lid := range st.steps[t] {
 			if lid == id {
 				continue
 			}
 			l := m.LinkByID(lid)
-			if bwd[t+1][l.To] {
-				bwd[t][l.From] = true
+			if sc.bwd[t+1].Has(l.To) {
+				sc.bwd[t].Add(l.From)
 			}
 		}
 	}
@@ -260,7 +344,7 @@ func (st *prState) remove(m *mesh.Mesh, id int) {
 				continue
 			}
 			l := m.LinkByID(lid)
-			if fwd[t][l.From] && bwd[t+1][l.To] {
+			if sc.fwd[t].Has(l.From) && sc.bwd[t+1].Has(l.To) {
 				kept = append(kept, lid)
 			}
 		}
@@ -272,9 +356,9 @@ func (st *prState) remove(m *mesh.Mesh, id int) {
 	st.refreshMulti()
 }
 
-func anyMulti(states []*prState) bool {
-	for _, st := range states {
-		if st.multi {
+func anyMulti(states []prState) bool {
+	for i := range states {
+		if states[i].multi {
 			return true
 		}
 	}

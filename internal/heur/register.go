@@ -17,12 +17,15 @@ type heurSolver struct {
 // Name implements solve.Solver.
 func (s heurSolver) Name() string { return s.name }
 
-// Route implements solve.Solver.
+// Route implements solve.Solver. When the caller supplies a reuse
+// workspace via Options.Workspace, the heuristic routes into it (the
+// returned routing then aliases workspace memory per the route.Workspace
+// contract); otherwise it allocates fresh.
 func (s heurSolver) Route(in solve.Instance, o solve.Options) (route.Routing, error) {
 	if err := in.Validate(); err != nil {
 		return route.Routing{}, err
 	}
-	return s.build(o).Route(in)
+	return RouteWith(s.build(o), in, o.Workspace)
 }
 
 // orderSensitive returns the paper's heuristics with the order override

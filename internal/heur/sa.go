@@ -28,6 +28,11 @@ func (SA) Name() string { return "SA" }
 
 // Route implements Heuristic.
 func (h SA) Route(in Instance) (route.Routing, error) {
+	return h.RouteInto(in, route.NewWorkspace())
+}
+
+// RouteInto implements WorkspaceRouter.
+func (h SA) RouteInto(in Instance, ws *route.Workspace) (route.Routing, error) {
 	seed := h.Seed
 	if seed == 0 {
 		seed = 1
@@ -37,20 +42,25 @@ func (h SA) Route(in Instance) (route.Routing, error) {
 		iters = 300 * len(in.Comms)
 	}
 
-	// Seed routing: best of the strongest constructive heuristics.
-	start, err := Best{Heuristics: []Heuristic{TB{}, XYI{}, PR{}}}.Route(in)
+	// Seed routing: best of the strongest constructive heuristics. The
+	// seed's paths land in (or are copied into) the workspace's slots.
+	start, err := Best{Heuristics: []Heuristic{TB{}, XYI{}, PR{}}}.RouteInto(in, ws)
 	if err != nil {
 		return route.Routing{}, err
 	}
-	paths := make(map[int]route.Path, len(in.Comms))
-	loads := route.NewLoadTracker(in.Mesh)
+	ps := ws.Paths()
+	ps.ResetFor(in.Comms)
 	for _, f := range start.Flows {
-		paths[f.Comm.ID] = f.Path
+		ps.Set(f.Comm.ID, f.Path)
+	}
+	loads := ws.Tracker()
+	for _, f := range start.Flows {
 		loads.AddPath(f.Path, f.Comm.Rate)
 	}
 	if len(in.Comms) == 0 {
-		return singlePathRouting(in.Mesh, in.Comms, paths), nil
+		return singlePathRouting(in, ws), nil
 	}
+	sc := scratchOf(ws)
 
 	// Overload penalty per unit of excess bandwidth: far above any
 	// marginal dynamic saving, so feasibility repairs dominate the
@@ -58,12 +68,11 @@ func (h SA) Route(in Instance) (route.Routing, error) {
 	penalty := 10 * (in.Model.Pleak + in.Model.Dynamic(in.Model.MaxBW)) / in.Model.MaxBW
 
 	moveEffect := func(old, new route.Path, rate float64) swapEffect {
-		return swapEffectOf(in.Mesh, in.Model, loads, old, new, rate)
+		return swapEffectOf(in.Mesh, in.Model, loads, old, new, rate, &sc.deltas)
 	}
 	state := func() swapEffect {
 		var e swapEffect
-		for id := 0; id < in.Mesh.LinkIDSpace(); id++ {
-			load := loads.LoadID(id)
+		for _, load := range loads.LoadsView() {
 			e.power += pseudoLinkPower(in.Model, load)
 			e.excess += overload(in.Model, load)
 		}
@@ -72,7 +81,7 @@ func (h SA) Route(in Instance) (route.Routing, error) {
 
 	cur := state()
 	best := cur
-	bestPaths := clonePaths(paths)
+	snapshotPaths(&sc.bestPaths, ps, in)
 
 	rng := rand.New(rand.NewSource(seed))
 	// Initial temperature: the per-link power scale.
@@ -82,9 +91,10 @@ func (h SA) Route(in Instance) (route.Routing, error) {
 	for it := 0; it < iters; it++ {
 		temp *= cooling
 		c := comms[rng.Intn(len(comms))]
-		cands := TwoBendPaths(c.Src, c.Dst)
-		next := cands[rng.Intn(len(cands))]
-		old := paths[c.ID]
+		k := rng.Intn(twoBendCountOf(c.Src, c.Dst))
+		sc.cand = appendNthTwoBend(sc.cand[:0], c.Src, c.Dst, k)
+		next := sc.cand
+		old := ps.Get(c.ID)
 		if samePath(old, next) {
 			continue
 		}
@@ -93,12 +103,12 @@ func (h SA) Route(in Instance) (route.Routing, error) {
 		if delta <= 0 || rng.Float64() < math.Exp(-delta/temp) {
 			loads.AddPath(old, -c.Rate)
 			loads.AddPath(next, c.Rate)
-			paths[c.ID] = next
+			ps.SetCopy(c.ID, next)
 			cur.power += eff.power
 			cur.excess += eff.excess
 			if cur.betterThan(best) {
 				best = cur
-				bestPaths = clonePaths(paths)
+				snapshotPaths(&sc.bestPaths, ps, in)
 			}
 		}
 	}
@@ -106,39 +116,43 @@ func (h SA) Route(in Instance) (route.Routing, error) {
 	// Restore the best configuration seen, then hill-climb: only strict
 	// lexicographic improvements, so the result is never worse than the
 	// seed routing and is locally optimal over two-bend moves.
-	paths = bestPaths
+	for _, c := range comms {
+		ps.SetCopy(c.ID, sc.bestPaths.Get(c.ID))
+	}
 	loads.Reset()
 	for _, c := range comms {
-		loads.AddPath(paths[c.ID], c.Rate)
+		loads.AddPath(ps.Get(c.ID), c.Rate)
 	}
 	improved := true
 	for improved {
 		improved = false
 		for _, c := range comms {
-			old := paths[c.ID]
-			for _, cand := range TwoBendPaths(c.Src, c.Dst) {
+			old := ps.Get(c.ID)
+			for k, n := 0, twoBendCountOf(c.Src, c.Dst); k < n; k++ {
+				sc.cand = appendNthTwoBend(sc.cand[:0], c.Src, c.Dst, k)
+				cand := sc.cand
 				if samePath(old, cand) {
 					continue
 				}
 				if eff := moveEffect(old, cand, c.Rate); eff.improves() {
 					loads.AddPath(old, -c.Rate)
 					loads.AddPath(cand, c.Rate)
-					paths[c.ID] = cand
-					old = cand
+					ps.SetCopy(c.ID, cand)
+					old = ps.Get(c.ID)
 					improved = true
 				}
 			}
 		}
 	}
-	return singlePathRouting(in.Mesh, in.Comms, paths), nil
+	return singlePathRouting(in, ws), nil
 }
 
-func clonePaths(paths map[int]route.Path) map[int]route.Path {
-	out := make(map[int]route.Path, len(paths))
-	for id, p := range paths {
-		out[id] = p
+// snapshotPaths copies the current path of every communication into dst.
+func snapshotPaths(dst *route.PathSet, src *route.PathSet, in Instance) {
+	dst.ResetFor(in.Comms)
+	for _, c := range in.Comms {
+		dst.SetCopy(c.ID, src.Get(c.ID))
 	}
-	return out
 }
 
 func samePath(a, b route.Path) bool {
@@ -154,4 +168,4 @@ func samePath(a, b route.Path) bool {
 }
 
 // guard: SA must keep satisfying the Heuristic contract.
-var _ Heuristic = SA{}
+var _ WorkspaceRouter = SA{}

@@ -22,27 +22,34 @@ func (SG) Name() string { return "SG" }
 
 // Route implements Heuristic.
 func (h SG) Route(in Instance) (route.Routing, error) {
-	loads := route.NewLoadTracker(in.Mesh)
-	paths := make(map[int]route.Path, len(in.Comms))
-	for _, c := range ordered(in.Comms, h.Order) {
-		p := greedyPath(in.Mesh, loads, c, func(cand mesh.Link, _ mesh.Coord) float64 {
-			return loads.Load(cand)
-		})
-		loads.AddPath(p, c.Rate)
-		paths[c.ID] = p
-	}
-	return singlePathRouting(in.Mesh, in.Comms, paths), nil
+	return h.RouteInto(in, route.NewWorkspace())
 }
 
-// greedyPath walks from src to dst, at each hop scoring the admissible
-// next links with cost (lower is better) and breaking ties by closeness of
-// the link's endpoint to the source-sink diagonal, then by move order.
-func greedyPath(m *mesh.Mesh, loads *route.LoadTracker, c comm.Comm,
+// RouteInto implements WorkspaceRouter.
+func (h SG) RouteInto(in Instance, ws *route.Workspace) (route.Routing, error) {
+	ps := prepare(in, ws)
+	loads := ws.Tracker()
+	sc := scratchOf(ws)
+	for _, c := range sc.orderedInto(in.Comms, h.Order) {
+		p := greedyPathInto(ps.Acquire(c.ID, c.Length()), c,
+			func(cand mesh.Link, _ mesh.Coord) float64 {
+				return loads.Load(cand)
+			})
+		loads.AddPath(p, c.Rate)
+		ps.Set(c.ID, p)
+	}
+	return singlePathRouting(in, ws), nil
+}
+
+// greedyPathInto walks from src to dst appending onto p, at each hop
+// scoring the admissible next links with cost (lower is better) and
+// breaking ties by closeness of the link's endpoint to the source-sink
+// diagonal, then by move order.
+func greedyPathInto(p route.Path, c comm.Comm,
 	cost func(cand mesh.Link, next mesh.Coord) float64) route.Path {
 
 	box := mesh.BoxOf(c.Src, c.Dst)
 	d := c.Direction()
-	var p route.Path
 	cur := c.Src
 	for cur != c.Dst {
 		var best mesh.Link

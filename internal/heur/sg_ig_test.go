@@ -60,7 +60,7 @@ func TestIdealShareRoundTrip(t *testing.T) {
 	m := mesh.MustNew(8, 8)
 	loads := route.NewLoadTracker(m)
 	g := comm.Comm{ID: 0, Src: mesh.Coord{U: 2, V: 2}, Dst: mesh.Coord{U: 6, V: 5}, Rate: 1234}
-	addIdealShare(m, loads, g, +1)
+	addIdealShare(m, loads, new(heurScratch), g, +1)
 	if loads.MaxLoad() == 0 {
 		t.Fatal("pre-routing added no load")
 	}
@@ -72,7 +72,7 @@ func TestIdealShareRoundTrip(t *testing.T) {
 	if want := g.Rate * float64(g.Length()); math.Abs(total-want) > 1e-6 {
 		t.Errorf("virtual volume %g, want %g", total, want)
 	}
-	addIdealShare(m, loads, g, -1)
+	addIdealShare(m, loads, new(heurScratch), g, -1)
 	if loads.MaxLoad() > 1e-9 {
 		t.Errorf("residual load %g after removing pre-routing", loads.MaxLoad())
 	}
@@ -118,7 +118,7 @@ func TestGreedyPathAlwaysTerminates(t *testing.T) {
 		loads.Add(l, 5000) // uniformly overloaded
 	}
 	g := comm.Comm{ID: 0, Src: mesh.Coord{U: 8, V: 8}, Dst: mesh.Coord{U: 1, V: 1}, Rate: 1}
-	p := greedyPath(m, loads, g, func(cand mesh.Link, _ mesh.Coord) float64 {
+	p := greedyPathInto(nil, g, func(cand mesh.Link, _ mesh.Coord) float64 {
 		return loads.Load(cand)
 	})
 	if err := p.Validate(m, g.Src, g.Dst); err != nil {

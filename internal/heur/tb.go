@@ -23,24 +23,31 @@ func (TB) Name() string { return "TB" }
 
 // Route implements Heuristic.
 func (h TB) Route(in Instance) (route.Routing, error) {
-	loads := route.NewLoadTracker(in.Mesh)
-	paths := make(map[int]route.Path, len(in.Comms))
-	for _, c := range ordered(in.Comms, h.Order) {
-		var best route.Path
+	return h.RouteInto(in, route.NewWorkspace())
+}
+
+// RouteInto implements WorkspaceRouter.
+func (h TB) RouteInto(in Instance, ws *route.Workspace) (route.Routing, error) {
+	ps := prepare(in, ws)
+	loads := ws.Tracker()
+	sc := scratchOf(ws)
+	for _, c := range sc.orderedInto(in.Comms, h.Order) {
 		bestDelta := inf
-		for _, p := range TwoBendPaths(c.Src, c.Dst) {
+		for k, n := 0, twoBendCountOf(c.Src, c.Dst); k < n; k++ {
+			sc.cand = appendNthTwoBend(sc.cand[:0], c.Src, c.Dst, k)
 			delta := 0.0
-			for _, l := range p {
+			for _, l := range sc.cand {
 				delta += loads.DeltaPower(in.Model, l, c.Rate)
 			}
-			if best == nil || delta < bestDelta {
-				best, bestDelta = p, delta
+			if k == 0 || delta < bestDelta {
+				sc.cand, sc.best = sc.best, sc.cand
+				bestDelta = delta
 			}
 		}
-		loads.AddPath(best, c.Rate)
-		paths[c.ID] = best
+		loads.AddPath(sc.best, c.Rate)
+		ps.SetCopy(c.ID, sc.best)
 	}
-	return singlePathRouting(in.Mesh, in.Comms, paths), nil
+	return singlePathRouting(in, ws), nil
 }
 
 // TwoBendPaths enumerates every Manhattan path from src to dst with at
@@ -51,41 +58,56 @@ func (h TB) Route(in Instance) (route.Routing, error) {
 // horizontal-vertical paths with an interior crossing row. Straight-line
 // communications have the single straight path.
 func TwoBendPaths(src, dst mesh.Coord) []route.Path {
-	du, dv := dst.U-src.U, dst.V-src.V
-	if du == 0 || dv == 0 {
-		return []route.Path{route.XY(src, dst)}
-	}
-	var out []route.Path
-	sv := sign(dv)
-	for col := src.V; ; col += sv {
-		// H to (src.U, col), V to (dst.U, col), H to dst.
-		p := append(route.Path{}, horiz(src, col)...)
-		p = append(p, vert(mesh.Coord{U: src.U, V: col}, dst.U)...)
-		p = append(p, horiz(mesh.Coord{U: dst.U, V: col}, dst.V)...)
-		out = append(out, p)
-		if col == dst.V {
-			break
-		}
-	}
-	su := sign(du)
-	for row := src.U + su; row != dst.U; row += su {
-		// V to (row, src.V), H to (row, dst.V), V to dst.
-		p := append(route.Path{}, vert(src, row)...)
-		p = append(p, horiz(mesh.Coord{U: row, V: src.V}, dst.V)...)
-		p = append(p, vert(mesh.Coord{U: row, V: dst.V}, dst.U)...)
-		out = append(out, p)
+	out := make([]route.Path, twoBendCountOf(src, dst))
+	for k := range out {
+		out[k] = appendNthTwoBend(nil, src, dst, k)
 	}
 	return out
 }
 
-// horiz returns the straight horizontal path from c to column col.
-func horiz(c mesh.Coord, col int) route.Path {
-	return route.XY(c, mesh.Coord{U: c.U, V: col})
+// twoBendCountOf returns the number of two-bend paths from src to dst:
+// |Δu|+|Δv|, or 1 for straight lines (Section 5.3).
+func twoBendCountOf(src, dst mesh.Coord) int {
+	du := abs(dst.U - src.U)
+	dv := abs(dst.V - src.V)
+	if du == 0 || dv == 0 {
+		return 1
+	}
+	return du + dv
 }
 
-// vert returns the straight vertical path from c to row row.
-func vert(c mesh.Coord, row int) route.Path {
-	return route.XY(c, mesh.Coord{U: row, V: c.V})
+// appendNthTwoBend appends the k-th path of the TwoBendPaths enumeration
+// onto p (allocation-free given capacity): paths 0..|Δv| are the H-V-H
+// paths by vertical-segment column from src.V to dst.V, paths |Δv|+1
+// onward the V-H-V paths by interior crossing row.
+func appendNthTwoBend(p route.Path, src, dst mesh.Coord, k int) route.Path {
+	du, dv := dst.U-src.U, dst.V-src.V
+	if du == 0 || dv == 0 {
+		return route.AppendXY(p, src, dst)
+	}
+	if nh := abs(dv) + 1; k < nh {
+		// H to (src.U, col), V to (dst.U, col), H to dst.
+		col := src.V + k*sign(dv)
+		p = appendHoriz(p, src, col)
+		p = appendVert(p, mesh.Coord{U: src.U, V: col}, dst.U)
+		return appendHoriz(p, mesh.Coord{U: dst.U, V: col}, dst.V)
+	} else {
+		// V to (row, src.V), H to (row, dst.V), V to dst.
+		row := src.U + (k-nh+1)*sign(du)
+		p = appendVert(p, src, row)
+		p = appendHoriz(p, mesh.Coord{U: row, V: src.V}, dst.V)
+		return appendVert(p, mesh.Coord{U: row, V: dst.V}, dst.U)
+	}
+}
+
+// appendHoriz appends the straight horizontal path from c to column col.
+func appendHoriz(p route.Path, c mesh.Coord, col int) route.Path {
+	return route.AppendXY(p, c, mesh.Coord{U: c.U, V: col})
+}
+
+// appendVert appends the straight vertical path from c to row row.
+func appendVert(p route.Path, c mesh.Coord, row int) route.Path {
+	return route.AppendXY(p, c, mesh.Coord{U: row, V: c.V})
 }
 
 func sign(x int) int {
@@ -98,12 +120,7 @@ func sign(x int) int {
 // twoBendCount returns the number of two-bend paths, |Δu|+|Δv|, used by
 // tests to cross-check the enumeration against Section 5.3.
 func twoBendCount(c comm.Comm) int {
-	du := abs(c.Dst.U - c.Src.U)
-	dv := abs(c.Dst.V - c.Src.V)
-	if du == 0 || dv == 0 {
-		return 1
-	}
-	return du + dv
+	return twoBendCountOf(c.Src, c.Dst)
 }
 
 func abs(x int) int {

@@ -12,10 +12,15 @@ type XY struct{}
 func (XY) Name() string { return "XY" }
 
 // Route routes every communication along its XY path.
-func (XY) Route(in Instance) (route.Routing, error) {
-	paths := make(map[int]route.Path, len(in.Comms))
+func (h XY) Route(in Instance) (route.Routing, error) {
+	return h.RouteInto(in, route.NewWorkspace())
+}
+
+// RouteInto implements WorkspaceRouter.
+func (XY) RouteInto(in Instance, ws *route.Workspace) (route.Routing, error) {
+	ps := prepare(in, ws)
 	for _, c := range in.Comms {
-		paths[c.ID] = route.XY(c.Src, c.Dst)
+		ps.Set(c.ID, route.AppendXY(ps.Acquire(c.ID, c.Length()), c.Src, c.Dst))
 	}
-	return singlePathRouting(in.Mesh, in.Comms, paths), nil
+	return singlePathRouting(in, ws), nil
 }

@@ -1,7 +1,7 @@
 package heur
 
 import (
-	"sort"
+	"slices"
 
 	"repro/internal/mesh"
 	"repro/internal/power"
@@ -28,48 +28,59 @@ type XYI struct{}
 func (XYI) Name() string { return "XYI" }
 
 // Route implements Heuristic.
-func (XYI) Route(in Instance) (route.Routing, error) {
-	paths := make(map[int]route.Path, len(in.Comms))
-	loads := route.NewLoadTracker(in.Mesh)
+func (h XYI) Route(in Instance) (route.Routing, error) {
+	return h.RouteInto(in, route.NewWorkspace())
+}
+
+// RouteInto implements WorkspaceRouter.
+func (XYI) RouteInto(in Instance, ws *route.Workspace) (route.Routing, error) {
+	ps := prepare(in, ws)
+	loads := ws.Tracker()
+	sc := scratchOf(ws)
 	for _, c := range in.Comms {
-		p := route.XY(c.Src, c.Dst)
-		paths[c.ID] = p
+		p := route.AppendXY(ps.Acquire(c.ID, c.Length()), c.Src, c.Dst)
+		ps.Set(c.ID, p)
 		loads.AddPath(p, c.Rate)
 	}
 
-	list := loads.LinksByLoadDesc()
+	sc.list = loads.LinksByLoadDescInto(sc.list)
+	list := sc.list
 	for len(list) > 0 {
 		l := list[0]
 		bestID := -1
-		var bestPath route.Path
 		var bestRate float64
 		var best swapEffect
 		for _, c := range in.Comms {
-			p := paths[c.ID]
-			np, ok := moveOff(p, l)
+			p := ps.Get(c.ID)
+			np, ok := sc.moveOff(p, l)
 			if !ok {
 				continue
 			}
-			e := swapEffectOf(in.Mesh, in.Model, loads, p, np, c.Rate)
+			e := swapEffectOf(in.Mesh, in.Model, loads, p, np, c.Rate, &sc.deltas)
 			if e.improves() && (bestID < 0 || e.betterThan(best)) {
-				bestID, bestPath, bestRate, best = c.ID, np, c.Rate, e
+				bestID, bestRate, best = c.ID, c.Rate, e
+				// Keep the winning candidate in sc.best; the next moveOff
+				// builds into the other buffer.
+				sc.cand, sc.best = sc.best, sc.cand
 			}
 		}
 		if bestID < 0 {
 			list = list[1:]
 			continue
 		}
-		loads.AddPath(paths[bestID], -bestRate)
-		loads.AddPath(bestPath, bestRate)
-		paths[bestID] = bestPath
-		list = loads.LinksByLoadDesc()
+		loads.AddPath(ps.Get(bestID), -bestRate)
+		loads.AddPath(sc.best, bestRate)
+		ps.SetCopy(bestID, sc.best)
+		sc.list = loads.LinksByLoadDescInto(sc.list)
+		list = sc.list
 	}
-	return singlePathRouting(in.Mesh, in.Comms, paths), nil
+	return singlePathRouting(in, ws), nil
 }
 
 // moveOff applies the Section 5.4 local modification to a Manhattan path
-// so that it avoids link l, returning ok=false when the Manhattan
-// constraint forbids the move:
+// so that it avoids link l, building the modified path into the scratch's
+// candidate buffer and returning ok=false when the Manhattan constraint
+// forbids the move:
 //
 //   - l vertical: the path must enter l.To horizontally from the source
 //     side, so the last horizontal move before the hop over l is postponed
@@ -78,7 +89,7 @@ func (XYI) Route(in Instance) (route.Routing, error) {
 //   - l horizontal: the path must leave l.From vertically toward the sink,
 //     so the first vertical move after the hop is advanced to just before
 //     it (the horizontal sub-row shifts one row toward the sink).
-func moveOff(p route.Path, l mesh.Link) (route.Path, bool) {
+func (sc *heurScratch) moveOff(p route.Path, l mesh.Link) (route.Path, bool) {
 	t := -1
 	for i, pl := range p {
 		if pl == l {
@@ -89,12 +100,13 @@ func moveOff(p route.Path, l mesh.Link) (route.Path, bool) {
 	if t < 0 {
 		return nil, false
 	}
-	moves := make([]mesh.Dir, len(p))
-	for i, pl := range p {
-		moves[i] = pl.Dir()
+	moves := sc.moves[:0]
+	for _, pl := range p {
+		moves = append(moves, pl.Dir())
 	}
+	sc.moves = moves
 	vertical := l.Dir() == mesh.South || l.Dir() == mesh.North
-	next := make([]mesh.Dir, 0, len(moves))
+	next := sc.moves2[:0]
 	if vertical {
 		j := -1
 		for i := t - 1; i >= 0; i-- {
@@ -126,8 +138,16 @@ func moveOff(p route.Path, l mesh.Link) (route.Path, bool) {
 		next = append(next, moves[t:j]...)
 		next = append(next, moves[j+1:]...)
 	}
-	src := p[0].From
-	return route.FromMoves(src, next), true
+	sc.moves2 = next
+	out := sc.cand[:0]
+	cur := p[0].From
+	for _, d := range next {
+		nc := cur.Step(d)
+		out = append(out, mesh.Link{From: cur, To: nc})
+		cur = nc
+	}
+	sc.cand = out
+	return out, true
 }
 
 // pseudoLinkPower extends the model's link power continuously past the top
@@ -137,8 +157,8 @@ func pseudoLinkPower(model power.Model, load float64) float64 {
 	if load <= 0 {
 		return 0
 	}
-	f, err := model.Quantize(load)
-	if err != nil {
+	f, ok := model.QuantizeOK(load)
+	if !ok {
 		f = load
 	}
 	return model.Pleak + model.Dynamic(f)
@@ -174,22 +194,26 @@ func (e swapEffect) betterThan(o swapEffect) bool {
 }
 
 // swapEffectOf computes the effect of rerouting a flow of the given rate
-// from path old to path new under the current loads. The per-link deltas
-// are accumulated in ascending link-id order: float addition is not
-// associative, so a map-ordered sum would make near-tie accept decisions
-// depend on map iteration order and the "deterministic heuristics"
-// guarantee would silently break.
+// from path old to path new under the current loads, accumulating the
+// per-link deltas in the caller's reusable buffer. Deltas are summed in
+// ascending link-id order: float addition is not associative, so a
+// map-ordered sum would make near-tie accept decisions depend on map
+// iteration order and the "deterministic heuristics" guarantee would
+// silently break. (A link appears at most once per Manhattan path, so
+// within one id the sum has at most two terms and commutativity makes the
+// tie order among equal ids irrelevant.)
 func swapEffectOf(m *mesh.Mesh, model power.Model, loads *route.LoadTracker,
-	old, new route.Path, rate float64) swapEffect {
+	old, new route.Path, rate float64, buf *[]linkDelta) swapEffect {
 
-	deltas := make([]linkDelta, 0, len(old)+len(new))
+	deltas := (*buf)[:0]
 	for _, l := range old {
 		deltas = append(deltas, linkDelta{m.LinkID(l), -rate})
 	}
 	for _, l := range new {
 		deltas = append(deltas, linkDelta{m.LinkID(l), rate})
 	}
-	sort.Slice(deltas, func(i, j int) bool { return deltas[i].id < deltas[j].id })
+	*buf = deltas
+	slices.SortFunc(deltas, func(a, b linkDelta) int { return a.id - b.id })
 	var e swapEffect
 	for i := 0; i < len(deltas); {
 		id, d := deltas[i].id, deltas[i].d

@@ -10,6 +10,17 @@ import (
 	"repro/internal/route"
 )
 
+// moveOff is the fresh-scratch form of (*heurScratch).moveOff, the shape
+// the tests were written against. The returned path is copied out of the
+// scratch buffer so callers may keep it.
+func moveOff(p route.Path, l mesh.Link) (route.Path, bool) {
+	np, ok := new(heurScratch).moveOff(p, l)
+	if !ok {
+		return nil, false
+	}
+	return np.Clone(), true
+}
+
 // moveOff must always return a valid Manhattan path with the same
 // endpoints that avoids the targeted link — or report the move impossible.
 func TestMoveOffProperties(t *testing.T) {

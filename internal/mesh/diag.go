@@ -112,6 +112,31 @@ func (m *Mesh) DiagonalCores(d Quadrant, k int) []Coord {
 	return out
 }
 
+// diagRowRange returns the row interval [uMin, uMax] of diagonal D^(d)_k
+// (empty when uMin > uMax), together with the column of the diagonal's core
+// on row u, v = vBase + vStep·u. The formulas invert DiagIndex per family.
+func (m *Mesh) diagRowRange(d Quadrant, k int) (uMin, uMax, vBase, vStep int) {
+	switch d {
+	case DirSE: // v = k + 1 − u
+		uMin, uMax, vBase, vStep = k+1-m.q, k, k+1, -1
+	case DirSW: // v = u + q − k
+		uMin, uMax, vBase, vStep = k-m.q+1, k, m.q-k, 1
+	case DirNW: // v = p + q + 1 − k − u
+		uMin, uMax, vBase, vStep = m.p+1-k, m.p+m.q-k, m.p+m.q+1-k, -1
+	case DirNE: // v = k − p + u
+		uMin, uMax, vBase, vStep = m.p+1-k, m.p+m.q-k, k-m.p, 1
+	default:
+		panic(fmt.Sprintf("mesh: invalid quadrant %d", int(d)))
+	}
+	if uMin < 1 {
+		uMin = 1
+	}
+	if uMax > m.p {
+		uMax = m.p
+	}
+	return uMin, uMax, vBase, vStep
+}
+
 // Box is an axis-aligned rectangle of cores, used as the bounding box of a
 // communication: every Manhattan path from src to dst stays inside
 // Box of(src, dst).
@@ -146,6 +171,16 @@ func (b Box) Cores() int { return (b.UMax - b.UMin + 1) * (b.VMax - b.VMin + 1) 
 // lower bound and by the IG and PR heuristics. FrontierLinks panics if
 // t is outside [0, Manhattan(src,dst)).
 func (m *Mesh) FrontierLinks(src, dst Coord, t int) []Link {
+	return m.AppendFrontierLinks(nil, src, dst, t)
+}
+
+// AppendFrontierLinks is FrontierLinks appending into out — allocation-free
+// when out has capacity (pass out[:0] to reuse a scratch buffer). The
+// diagonal is enumerated directly from the family's closed form instead of
+// scanning every core, so a call is O(frontier) rather than O(p·q): this is
+// the hot geometric primitive of the IG and PR heuristics and the optflow
+// shortest-path DP.
+func (m *Mesh) AppendFrontierLinks(out []Link, src, dst Coord, t int) []Link {
 	ell := Manhattan(src, dst)
 	if t < 0 || t >= ell {
 		panic(fmt.Sprintf("mesh: frontier step %d out of range [0,%d)", t, ell))
@@ -154,8 +189,9 @@ func (m *Mesh) FrontierLinks(src, dst Coord, t int) []Link {
 	box := BoxOf(src, dst)
 	k := m.DiagIndex(d, src) + t
 	moves := d.Moves()
-	var out []Link
-	for _, c := range m.DiagonalCores(d, k) {
+	uMin, uMax, vBase, vStep := m.diagRowRange(d, k)
+	for u := uMin; u <= uMax; u++ {
+		c := Coord{U: u, V: vBase + vStep*u}
 		if !box.Contains(c) {
 			continue
 		}

@@ -193,3 +193,50 @@ func TestBoxOf(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// AppendFrontierLinks' closed-form diagonal enumeration must reproduce the
+// reference DiagonalCores scan exactly — same links, same order — for
+// every geometry on square and skewed meshes.
+func TestAppendFrontierLinksMatchesReferenceScan(t *testing.T) {
+	for _, dims := range [][2]int{{8, 8}, {3, 9}, {9, 3}, {1, 7}, {7, 1}} {
+		m := MustNew(dims[0], dims[1])
+		reference := func(src, dst Coord, step int) []Link {
+			d := DirectionOf(src, dst)
+			box := BoxOf(src, dst)
+			k := m.DiagIndex(d, src) + step
+			var out []Link
+			for _, c := range m.DiagonalCores(d, k) {
+				if !box.Contains(c) {
+					continue
+				}
+				for _, mv := range d.Moves() {
+					n := c.Step(mv)
+					if box.Contains(n) && m.Contains(n) {
+						out = append(out, Link{From: c, To: n})
+					}
+				}
+			}
+			return out
+		}
+		var buf []Link
+		for _, src := range m.Cores() {
+			for _, dst := range m.Cores() {
+				if src == dst {
+					continue
+				}
+				for step := 0; step < Manhattan(src, dst); step++ {
+					want := reference(src, dst, step)
+					buf = m.AppendFrontierLinks(buf[:0], src, dst, step)
+					if len(buf) != len(want) {
+						t.Fatalf("%v: %v->%v step %d: %d links, want %d", m, src, dst, step, len(buf), len(want))
+					}
+					for i := range want {
+						if buf[i] != want[i] {
+							t.Fatalf("%v: %v->%v step %d: link %d = %v, want %v", m, src, dst, step, i, buf[i], want[i])
+						}
+					}
+				}
+			}
+		}
+	}
+}

@@ -243,6 +243,26 @@ func (m *Mesh) Neighbors(c Coord) []Coord {
 	return out
 }
 
+// CoordIndex maps a coordinate of the mesh to a dense integer identifier
+// in [0, NumCores()), row-major — the coordinate analogue of LinkID,
+// enabling flat-slice and bitset bookkeeping over cores. CoordIndex panics
+// if the coordinate lies outside the mesh.
+func (m *Mesh) CoordIndex(c Coord) int {
+	if !m.Contains(c) {
+		panic(fmt.Sprintf("mesh: coordinate %v outside %v", c, m))
+	}
+	return (c.U-1)*m.q + (c.V - 1)
+}
+
+// CoordAt is the inverse of CoordIndex. It panics if the index is out of
+// range.
+func (m *Mesh) CoordAt(i int) Coord {
+	if i < 0 || i >= m.NumCores() {
+		panic(fmt.Sprintf("mesh: coordinate index %d out of range", i))
+	}
+	return Coord{i/m.q + 1, i%m.q + 1}
+}
+
 // Cores returns all coordinates of the mesh in row-major order.
 func (m *Mesh) Cores() []Coord {
 	out := make([]Coord, 0, m.NumCores())

@@ -160,3 +160,25 @@ func TestLinkByIDPanicsOutOfRange(t *testing.T) {
 		}()
 	}
 }
+
+// CoordIndex is a row-major bijection on the mesh's cores.
+func TestCoordIndexRoundTrip(t *testing.T) {
+	m := MustNew(4, 7)
+	seen := make([]bool, m.NumCores())
+	for _, c := range m.Cores() {
+		i := m.CoordIndex(c)
+		if i < 0 || i >= m.NumCores() || seen[i] {
+			t.Fatalf("CoordIndex(%v) = %d (dup or out of range)", c, i)
+		}
+		seen[i] = true
+		if back := m.CoordAt(i); back != c {
+			t.Fatalf("CoordAt(%d) = %v, want %v", i, back, c)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("CoordIndex outside the mesh did not panic")
+		}
+	}()
+	m.CoordIndex(Coord{U: 5, V: 1})
+}

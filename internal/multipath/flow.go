@@ -17,16 +17,18 @@ import (
 )
 
 // FlowField is a link-indexed flow of a single commodity from Src to Dst.
+// Flows are stored in a dense per-link vector (mesh.LinkID indexed), so
+// accumulation, evaluation and decomposition run map-free.
 type FlowField struct {
 	Mesh     *mesh.Mesh
 	Src, Dst mesh.Coord
 	Rate     float64 // total rate injected at Src and absorbed at Dst
-	links    map[int]float64
+	links    []float64
 }
 
 // NewFlowField returns an empty flow field.
 func NewFlowField(m *mesh.Mesh, src, dst mesh.Coord, rate float64) *FlowField {
-	return &FlowField{Mesh: m, Src: src, Dst: dst, Rate: rate, links: make(map[int]float64)}
+	return &FlowField{Mesh: m, Src: src, Dst: dst, Rate: rate, links: make([]float64, m.LinkIDSpace())}
 }
 
 // Add adds rate to link l.
@@ -37,29 +39,35 @@ func (f *FlowField) Add(l mesh.Link, rate float64) {
 // Load returns the flow on link l.
 func (f *FlowField) Load(l mesh.Link) float64 { return f.links[f.Mesh.LinkID(l)] }
 
-// Loads returns the dense per-link load vector.
+// Loads returns a copy of the dense per-link load vector.
 func (f *FlowField) Loads() []float64 {
-	out := make([]float64, f.Mesh.LinkIDSpace())
-	for id, x := range f.links {
-		out[id] = x
-	}
+	out := make([]float64, len(f.links))
+	copy(out, f.links)
 	return out
 }
+
+// LoadsView returns the field's internal load vector without copying
+// (mesh.LinkID indexed). It must not be mutated except through Add.
+func (f *FlowField) LoadsView() []float64 { return f.links }
 
 // Validate checks flow conservation: Rate out of Src, Rate into Dst, and
 // in-flow equal to out-flow at every other core; all link flows must be
 // non-negative.
 func (f *FlowField) Validate() error {
-	net := make(map[mesh.Coord]float64)
+	net := make([]float64, f.Mesh.NumCores())
 	for id, x := range f.links {
+		if x == 0 {
+			continue
+		}
 		if x < -1e-9 {
 			return fmt.Errorf("multipath: negative flow %g on %v", x, f.Mesh.LinkByID(id))
 		}
 		l := f.Mesh.LinkByID(id)
-		net[l.From] += x
-		net[l.To] -= x
+		net[f.Mesh.CoordIndex(l.From)] += x
+		net[f.Mesh.CoordIndex(l.To)] -= x
 	}
-	for c, x := range net {
+	for i, x := range net {
+		c := f.Mesh.CoordAt(i)
 		want := 0.0
 		switch c {
 		case f.Src:
@@ -74,9 +82,9 @@ func (f *FlowField) Validate() error {
 	return nil
 }
 
-// Power evaluates the flow's link loads under the model.
+// Power evaluates the flow's link loads under the model (no copy).
 func (f *FlowField) Power(model power.Model) (power.Breakdown, error) {
-	return model.Total(f.Loads())
+	return model.Total(f.links)
 }
 
 // Decompose extracts a path decomposition of the flow: a set of flows
@@ -89,7 +97,7 @@ func (f *FlowField) Decompose(id int) ([]route.Flow, error) {
 	if err := f.Validate(); err != nil {
 		return nil, err
 	}
-	residual := make(map[int]float64, len(f.links))
+	residual := make([]float64, len(f.links))
 	for lid, x := range f.links {
 		if x > 1e-12 {
 			residual[lid] = x
@@ -128,7 +136,7 @@ func (f *FlowField) Decompose(id int) ([]route.Flow, error) {
 			lid := f.Mesh.LinkID(l)
 			residual[lid] -= bottleneck
 			if residual[lid] <= 1e-12 {
-				delete(residual, lid)
+				residual[lid] = 0
 			}
 		}
 		flows = append(flows, route.Flow{

@@ -28,7 +28,7 @@ func (s smpSolver) Route(in solve.Instance, o solve.Options) (route.Routing, err
 	if o.MaxPaths > 0 {
 		split = o.MaxPaths
 	}
-	return EqualSplit{S: split, Inner: heur.TB{Order: o.Order}}.Route(in.Mesh, in.Model, in.Comms)
+	return EqualSplit{S: split, Inner: heur.TB{Order: o.Order}}.RouteWith(in.Mesh, in.Model, in.Comms, o.Workspace)
 }
 
 func init() {

@@ -36,6 +36,20 @@ func (e EqualSplit) Name() string {
 // reassembles a multi-path routing carrying the original communication
 // IDs. The returned routing satisfies Validate(set, S).
 func (e EqualSplit) Route(m *mesh.Mesh, model power.Model, set comm.Set) (route.Routing, error) {
+	return e.RouteWith(m, model, set, nil)
+}
+
+// smpScratch pools the fragment set and the fragment→original ID table
+// across workspace-reusing calls.
+type smpScratch struct {
+	frags  comm.Set
+	origID []int
+}
+
+// RouteWith is Route threading a reusable dense workspace (nil allowed) to
+// the fragment buffers and the inner heuristic; the returned routing then
+// aliases workspace memory per the route.Workspace contract.
+func (e EqualSplit) RouteWith(m *mesh.Mesh, model power.Model, set comm.Set, ws *route.Workspace) (route.Routing, error) {
 	if e.S < 1 {
 		return route.Routing{}, fmt.Errorf("multipath: split count %d < 1", e.S)
 	}
@@ -43,32 +57,38 @@ func (e EqualSplit) Route(m *mesh.Mesh, model power.Model, set comm.Set) (route.
 	if inner == nil {
 		inner = heur.SG{}
 	}
-	// Fragment with fresh IDs; remember the original ID of each fragment.
-	frags := make(comm.Set, 0, len(set)*e.S)
-	origID := make(map[int]int)
-	next := 0
+	var sc *smpScratch
+	if ws != nil {
+		ws.Bind(m)
+		sc = ws.Scratch("multipath.smp", func() any { return new(smpScratch) }).(*smpScratch)
+	} else {
+		sc = &smpScratch{}
+	}
+	// Fragment with fresh dense IDs; remember the original ID per fragment.
+	frags := sc.frags[:0]
+	origID := sc.origID[:0]
 	for _, c := range set {
 		parts, err := c.SplitEqual(e.S)
 		if err != nil {
 			return route.Routing{}, err
 		}
 		for _, p := range parts {
-			origID[next] = c.ID
-			p.ID = next
+			p.ID = len(frags)
+			origID = append(origID, c.ID)
 			frags = append(frags, p)
-			next++
 		}
 	}
-	r, err := inner.Route(heur.Instance{Mesh: m, Model: model, Comms: frags})
+	sc.frags, sc.origID = frags, origID
+	r, err := heur.RouteWith(inner, heur.Instance{Mesh: m, Model: model, Comms: frags}, ws)
 	if err != nil {
 		return route.Routing{}, err
 	}
-	flows := make([]route.Flow, len(r.Flows))
-	for i, fl := range r.Flows {
-		fl.Comm.ID = origID[fl.Comm.ID]
-		flows[i] = fl
+	// Rewrite fragment IDs back to the originals in place (the flow list is
+	// ours: workspace-pooled or freshly allocated by the inner heuristic).
+	for i := range r.Flows {
+		r.Flows[i].Comm.ID = origID[r.Flows[i].Comm.ID]
 	}
-	return route.Routing{Mesh: m, Flows: flows}, nil
+	return route.Routing{Mesh: m, Flows: r.Flows}, nil
 }
 
 // Solve routes and evaluates in one call.

@@ -20,6 +20,7 @@ import (
 	"repro/internal/comm"
 	"repro/internal/mesh"
 	"repro/internal/power"
+	"repro/internal/route"
 )
 
 // Options tunes the Frank–Wolfe solve.
@@ -59,6 +60,39 @@ type Solution struct {
 // Manhattan routings of the communication set (the max-MP rule). Discrete
 // frequency sets in the model are relaxed to their continuous envelope.
 func Solve(m *mesh.Mesh, model power.Model, set comm.Set, opts Options) (*Solution, error) {
+	return SolveWith(m, model, set, opts, nil)
+}
+
+// fwScratch pools the Frank–Wolfe working state across workspace-reusing
+// solves: the two comm×link flow matrices, the marginal-cost and target
+// load vectors, and the dense shortest-path DP.
+type fwScratch struct {
+	perComm, targetPer []float64
+	costs, target      []float64
+	dp                 *pathDP
+}
+
+// zeroed returns *buf resized to n and cleared, growing its backing array
+// when needed.
+func zeroed(buf *[]float64, n int) []float64 {
+	b := *buf
+	if cap(b) < n {
+		b = make([]float64, n)
+	} else {
+		b = b[:n]
+		for i := range b {
+			b[i] = 0
+		}
+	}
+	*buf = b
+	return b
+}
+
+// SolveWith is Solve reusing the dense Frank–Wolfe state pooled in ws
+// (nil allocates fresh; results are identical either way). The returned
+// Solution owns its Loads and PerComm — unlike routings, it never aliases
+// workspace memory.
+func SolveWith(m *mesh.Mesh, model power.Model, set comm.Set, opts Options, ws *route.Workspace) (*Solution, error) {
 	opts.setDefaults()
 	if err := set.Validate(m); err != nil {
 		return nil, err
@@ -80,20 +114,36 @@ func Solve(m *mesh.Mesh, model power.Model, set comm.Set, opts Options) (*Soluti
 		return model.P0 * model.Alpha / unit * math.Pow(x/unit, model.Alpha-1)
 	}
 
+	var sc *fwScratch
+	if ws != nil {
+		ws.Bind(m)
+		sc = ws.Scratch("optflow.fw", func() any { return new(fwScratch) }).(*fwScratch)
+	} else {
+		sc = new(fwScratch)
+	}
 	nLinks := m.LinkIDSpace()
-	loads := make([]float64, nLinks)
-	perComm := make([]map[int]float64, len(set))
+	loads := make([]float64, nLinks) // escapes into Solution
+	// perComm and targetPer are flat comm×link matrices (row i = the
+	// fractional flow of set[i] indexed by LinkID) — the dense replacement
+	// for the per-iteration map-of-maps state.
+	perComm := zeroed(&sc.perComm, len(set)*nLinks)
+	targetPer := zeroed(&sc.targetPer, len(set)*nLinks)
+	costs := zeroed(&sc.costs, nLinks)
+	target := zeroed(&sc.target, nLinks)
+	if sc.dp == nil || len(sc.dp.dist) != m.NumCores() {
+		sc.dp = newPathDP(m)
+	}
+	dp := sc.dp
 
 	// Initialize with the all-or-nothing assignment under zero loads
 	// (any shortest path; XY is as good as any for a starting point).
 	for i, c := range set {
-		flow := make(map[int]float64)
+		row := perComm[i*nLinks : (i+1)*nLinks]
 		for _, l := range xyPath(c) {
 			id := m.LinkID(l)
-			flow[id] += c.Rate
+			row[id] += c.Rate
 			loads[id] += c.Rate
 		}
-		perComm[i] = flow
 	}
 
 	objective := func(x []float64) float64 {
@@ -110,24 +160,25 @@ func Solve(m *mesh.Mesh, model power.Model, set comm.Set, opts Options) (*Soluti
 	iters := 0
 	for ; iters < opts.MaxIters; iters++ {
 		// Marginal costs at the current loads.
-		costs := make([]float64, nLinks)
 		for id, v := range loads {
 			costs[id] = dynPrime(v)
 		}
 		// All-or-nothing assignment: cheapest path per communication
 		// under the marginal costs (DP over the communication's DAG).
-		target := make([]float64, nLinks)
-		targetPer := make([]map[int]float64, len(set))
+		for id := range target {
+			target[id] = 0
+		}
+		for id := range targetPer {
+			targetPer[id] = 0
+		}
 		linear := 0.0 // c·(x − y), the Frank–Wolfe gap numerator
 		for i, c := range set {
-			path := cheapestPath(m, c, costs)
-			flow := make(map[int]float64, len(path))
-			for _, l := range path {
+			row := targetPer[i*nLinks : (i+1)*nLinks]
+			for _, l := range dp.cheapestPath(m, c, costs) {
 				id := m.LinkID(l)
 				target[id] += c.Rate
-				flow[id] += c.Rate
+				row[id] += c.Rate
 			}
-			targetPer[i] = flow
 		}
 		for id := range loads {
 			linear += costs[id] * (loads[id] - target[id])
@@ -158,19 +209,19 @@ func Solve(m *mesh.Mesh, model power.Model, set comm.Set, opts Options) (*Soluti
 		for id := range loads {
 			loads[id] = (1-gamma)*loads[id] + gamma*target[id]
 		}
-		for i := range perComm {
-			merged := make(map[int]float64, len(perComm[i])+len(targetPer[i]))
-			for id, v := range perComm[i] {
-				if nv := (1 - gamma) * v; nv > 1e-12 {
-					merged[id] = nv
-				}
+		// Merge with the historical sparsity thresholds: a shrunk share
+		// at or below 1e-12 drops to zero before the target is added, and
+		// a combined share at or below 1e-12 leaves the shrunk value —
+		// bit-for-bit the map-based bookkeeping on flat rows.
+		for idx, v := range perComm {
+			x := (1 - gamma) * v
+			if x <= 1e-12 {
+				x = 0
 			}
-			for id, v := range targetPer[i] {
-				if nv := merged[id] + gamma*v; nv > 1e-12 {
-					merged[id] = nv
-				}
+			if nv := x + gamma*targetPer[idx]; nv > 1e-12 {
+				x = nv
 			}
-			perComm[i] = merged
+			perComm[idx] = x
 		}
 	}
 
@@ -182,7 +233,14 @@ func Solve(m *mesh.Mesh, model power.Model, set comm.Set, opts Options) (*Soluti
 		Iters:   iters,
 	}
 	for i, c := range set {
-		sol.PerComm[c.ID] = perComm[i]
+		row := perComm[i*nLinks : (i+1)*nLinks]
+		flow := make(map[int]float64)
+		for id, v := range row {
+			if v > 1e-12 {
+				flow[id] = v
+			}
+		}
+		sol.PerComm[c.ID] = flow
 	}
 	return sol, nil
 }
@@ -215,37 +273,60 @@ func xyPath(c comm.Comm) []mesh.Link {
 	return links
 }
 
+// pathDP is the dense scratch of the per-communication shortest-path DP:
+// coord-indexed distance/predecessor arrays with generation stamps (so a
+// new walk needs no clearing), plus the frontier and path buffers. One
+// instance serves every communication of a Solve.
+type pathDP struct {
+	dist     []float64
+	via      []mesh.Link
+	gen      []int
+	cur      int
+	frontier []mesh.Link
+	path     []mesh.Link
+}
+
+func newPathDP(m *mesh.Mesh) *pathDP {
+	n := m.NumCores()
+	return &pathDP{dist: make([]float64, n), via: make([]mesh.Link, n), gen: make([]int, n)}
+}
+
 // cheapestPath runs the shortest-path DP over the communication's
 // bounding-box DAG: cores are processed diagonal by diagonal, so each
-// link is relaxed exactly once.
-func cheapestPath(m *mesh.Mesh, c comm.Comm, costs []float64) []mesh.Link {
-	type state struct {
-		dist float64
-		via  mesh.Link
-		ok   bool
-	}
-	dist := map[mesh.Coord]state{c.Src: {dist: 0, ok: true}}
+// link is relaxed exactly once. The returned path aliases the DP's
+// reusable buffer and is valid until the next call.
+func (dp *pathDP) cheapestPath(m *mesh.Mesh, c comm.Comm, costs []float64) []mesh.Link {
+	dp.cur++
+	si := m.CoordIndex(c.Src)
+	dp.gen[si] = dp.cur
+	dp.dist[si] = 0
 	ell := c.Length()
 	for t := 0; t < ell; t++ {
-		for _, l := range m.FrontierLinks(c.Src, c.Dst, t) {
-			from, okFrom := dist[l.From]
-			if !okFrom || !from.ok {
+		dp.frontier = m.AppendFrontierLinks(dp.frontier[:0], c.Src, c.Dst, t)
+		for _, l := range dp.frontier {
+			fi := m.CoordIndex(l.From)
+			if dp.gen[fi] != dp.cur {
 				continue
 			}
-			cand := from.dist + costs[m.LinkID(l)]
-			cur, seen := dist[l.To]
-			if !seen || !cur.ok || cand < cur.dist {
-				dist[l.To] = state{dist: cand, via: l, ok: true}
+			cand := dp.dist[fi] + costs[m.LinkID(l)]
+			ti := m.CoordIndex(l.To)
+			if dp.gen[ti] != dp.cur || cand < dp.dist[ti] {
+				dp.gen[ti] = dp.cur
+				dp.dist[ti] = cand
+				dp.via[ti] = l
 			}
 		}
 	}
 	// Walk back from the sink.
-	path := make([]mesh.Link, ell)
+	if cap(dp.path) < ell {
+		dp.path = make([]mesh.Link, ell)
+	}
+	path := dp.path[:ell]
 	cur := c.Dst
 	for t := ell - 1; t >= 0; t-- {
-		st := dist[cur]
-		path[t] = st.via
-		cur = st.via.From
+		l := dp.via[m.CoordIndex(cur)]
+		path[t] = l
+		cur = l.From
 	}
 	return path
 }

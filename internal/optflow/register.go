@@ -17,8 +17,8 @@ func maxMPRoute(in solve.Instance, o solve.Options) (route.Routing, error) {
 	if err := in.Validate(); err != nil {
 		return route.Routing{}, err
 	}
-	sol, err := Solve(in.Mesh, in.Model, in.Comms,
-		Options{MaxIters: o.FWMaxIters, Tolerance: o.FWTolerance})
+	sol, err := SolveWith(in.Mesh, in.Model, in.Comms,
+		Options{MaxIters: o.FWMaxIters, Tolerance: o.FWTolerance}, o.Workspace)
 	if err != nil {
 		return route.Routing{}, err
 	}

@@ -105,6 +105,44 @@ func (m Model) Quantize(load float64) (float64, error) {
 // times); loads within 1e-9 of a frequency snap onto it.
 const loadEps = 1e-9
 
+// QuantizeOK is Quantize reporting failure as ok=false instead of
+// constructing the wrapped error — the allocation-free form for greedy
+// hot loops that probe overloaded links millions of times per solve
+// (the XYI/TB pseudo-power scans). Quantize(load) errs exactly when
+// QuantizeOK(load) reports !ok.
+func (m Model) QuantizeOK(load float64) (f float64, ok bool) {
+	if load < 0 {
+		return 0, false
+	}
+	if load == 0 {
+		return 0, true
+	}
+	if load > m.MaxBW+loadEps {
+		return 0, false
+	}
+	if m.Continuous() {
+		return math.Min(load, m.MaxBW), true
+	}
+	i := sort.SearchFloat64s(m.Freqs, load-loadEps)
+	if i == len(m.Freqs) {
+		return 0, false
+	}
+	return m.Freqs[i], true
+}
+
+// LinkPowerOK is LinkPower reporting infeasibility as ok=false instead of
+// an error (see QuantizeOK).
+func (m Model) LinkPowerOK(load float64) (p float64, ok bool) {
+	f, ok := m.QuantizeOK(load)
+	if !ok {
+		return 0, false
+	}
+	if f == 0 {
+		return 0, true
+	}
+	return m.Pleak + m.Dynamic(f), true
+}
+
 // LinkPower returns the power dissipated by a single link carrying the
 // given load (0 for an idle link), per the Section 3.1 model.
 func (m Model) LinkPower(load float64) (float64, error) {

@@ -207,3 +207,26 @@ func TestTheoryModelUnbounded(t *testing.T) {
 		t.Errorf("theory model should accept any load: %v", err)
 	}
 }
+
+// QuantizeOK is the allocation-free twin of Quantize: same frequency, and
+// ok exactly when Quantize returns no error — over idle, in-band,
+// boundary and overloaded loads on both model families.
+func TestQuantizeOKMatchesQuantize(t *testing.T) {
+	for _, m := range []Model{KimHorowitz(), KimHorowitzContinuous(), Figure2()} {
+		for _, load := range []float64{-1, 0, 1e-12, 500, 999.9999999, 1000, 1000.1, 2499, 3500, 3500.1, 9999} {
+			f1, err := m.Quantize(load)
+			f2, ok := m.QuantizeOK(load)
+			if ok != (err == nil) {
+				t.Errorf("load %g: ok=%v but err=%v", load, ok, err)
+			}
+			if ok && f1 != f2 {
+				t.Errorf("load %g: Quantize=%g QuantizeOK=%g", load, f1, f2)
+			}
+			p1, perr := m.LinkPower(load)
+			p2, pok := m.LinkPowerOK(load)
+			if pok != (perr == nil) || (pok && p1 != p2) {
+				t.Errorf("load %g: LinkPower mismatch (%g,%v) vs (%g,%v)", load, p1, perr, p2, pok)
+			}
+		}
+	}
+}

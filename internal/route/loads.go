@@ -3,7 +3,7 @@ package route
 import (
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 
 	"repro/internal/mesh"
 	"repro/internal/power"
@@ -16,6 +16,14 @@ import (
 type LoadTracker struct {
 	mesh  *mesh.Mesh
 	loads []float64
+	// entries is the reusable sort scratch of LinksByLoadDescInto.
+	entries []loadEntry
+}
+
+// loadEntry pairs a dense link id with its load for the descending sort.
+type loadEntry struct {
+	id   int
+	load float64
 }
 
 // NewLoadTracker returns an empty tracker for the mesh.
@@ -53,10 +61,21 @@ func (t *LoadTracker) LoadID(id int) float64 { return t.loads[id] }
 
 // Loads returns a copy of the per-link load vector (indexed by LinkID).
 func (t *LoadTracker) Loads() []float64 {
-	out := make([]float64, len(t.loads))
-	copy(out, t.loads)
-	return out
+	return t.LoadsInto(nil)
 }
+
+// LoadsInto copies the per-link load vector into dst (reusing its backing
+// array when large enough) — the scratch-reusing form of Loads for hot
+// evaluation loops.
+func (t *LoadTracker) LoadsInto(dst []float64) []float64 {
+	return append(dst[:0], t.loads...)
+}
+
+// LoadsView returns the tracker's internal load vector without copying.
+// The slice is indexed by mesh.LinkID, must not be mutated, and is
+// invalidated by the next tracker mutation — use it for read-only
+// evaluation on the hot path and Loads/LoadsInto everywhere else.
+func (t *LoadTracker) LoadsView() []float64 { return t.loads }
 
 // Clone returns an independent copy of the tracker.
 func (t *LoadTracker) Clone() *LoadTracker {
@@ -85,27 +104,35 @@ func (t *LoadTracker) MaxLoad() float64 {
 // (ties by link id for determinism), the scan order of the XYI and PR
 // heuristics.
 func (t *LoadTracker) LinksByLoadDesc() []mesh.Link {
-	type entry struct {
-		id   int
-		load float64
-	}
-	entries := make([]entry, 0, 64)
+	return t.LinksByLoadDescInto(nil)
+}
+
+// LinksByLoadDescInto is LinksByLoadDesc building into dst (reusing its
+// backing array) and sorting in tracker-owned scratch, so the XYI and PR
+// rescan loops pay no allocation per iteration. The ordering is identical
+// to LinksByLoadDesc: decreasing load, ties by increasing link id.
+func (t *LoadTracker) LinksByLoadDescInto(dst []mesh.Link) []mesh.Link {
+	t.entries = t.entries[:0]
 	for id, load := range t.loads {
 		if load > 0 {
-			entries = append(entries, entry{id, load})
+			t.entries = append(t.entries, loadEntry{id, load})
 		}
 	}
-	sort.Slice(entries, func(i, j int) bool {
-		if entries[i].load != entries[j].load {
-			return entries[i].load > entries[j].load
+	slices.SortFunc(t.entries, func(a, b loadEntry) int {
+		switch {
+		case a.load > b.load:
+			return -1
+		case a.load < b.load:
+			return 1
+		default:
+			return a.id - b.id
 		}
-		return entries[i].id < entries[j].id
 	})
-	out := make([]mesh.Link, len(entries))
-	for i, e := range entries {
-		out[i] = t.mesh.LinkByID(e.id)
+	dst = dst[:0]
+	for _, e := range t.entries {
+		dst = append(dst, t.mesh.LinkByID(e.id))
 	}
-	return out
+	return dst
 }
 
 // Power evaluates the tracked loads under the model.
@@ -142,8 +169,8 @@ func (t *LoadTracker) Evaluate(model power.Model) (power.Breakdown, bool) {
 // current load. Infeasible loads return +Inf so greedy comparisons
 // naturally avoid them; the error is still reported by the final Evaluate.
 func (t *LoadTracker) LinkPowerWith(model power.Model, l mesh.Link, extra float64) float64 {
-	p, err := model.LinkPower(t.Load(l) + extra)
-	if err != nil {
+	p, ok := model.LinkPowerOK(t.Load(l) + extra)
+	if !ok {
 		return inf
 	}
 	return p
@@ -152,12 +179,12 @@ func (t *LoadTracker) LinkPowerWith(model power.Model, l mesh.Link, extra float6
 // DeltaPower returns the change in link power caused by adding extra to
 // link l (infeasible additions return +Inf).
 func (t *LoadTracker) DeltaPower(model power.Model, l mesh.Link, extra float64) float64 {
-	before, err := model.LinkPower(t.Load(l))
-	if err != nil {
+	before, ok := model.LinkPowerOK(t.Load(l))
+	if !ok {
 		return inf
 	}
-	after, err := model.LinkPower(t.Load(l) + extra)
-	if err != nil {
+	after, ok := model.LinkPowerOK(t.Load(l) + extra)
+	if !ok {
 		return inf
 	}
 	return after - before

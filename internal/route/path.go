@@ -2,6 +2,11 @@
 // Manhattan paths, (multi-path) flows with their rates, link-load
 // accounting, validity checking against the Section 3.4 bandwidth
 // constraint, and power evaluation under a power.Model.
+//
+// It also hosts the dense solver workspace layer (Workspace, PathSet,
+// CoordSet): reusable flat-slice and bitset state every routing policy
+// solves against, so repeated solves on one goroutine allocate nothing on
+// the hot path. See Workspace for the pooling contract.
 package route
 
 import (
@@ -80,7 +85,13 @@ func FromMoves(src mesh.Coord, moves []mesh.Dir) Path {
 // hops first, then all vertical hops (Section 1: "data is first forwarded
 // horizontally, and then vertically").
 func XY(src, dst mesh.Coord) Path {
-	moves := make([]mesh.Dir, 0, mesh.Manhattan(src, dst))
+	return AppendXY(make(Path, 0, mesh.Manhattan(src, dst)), src, dst)
+}
+
+// AppendXY appends the XY path from src to dst onto p — the allocation-free
+// form of XY for workspace-reusing hot loops (pass p[:0] to rebuild into a
+// scratch buffer).
+func AppendXY(p Path, src, dst mesh.Coord) Path {
 	h, v := mesh.East, mesh.South
 	if dst.V < src.V {
 		h = mesh.West
@@ -88,13 +99,18 @@ func XY(src, dst mesh.Coord) Path {
 	if dst.U < src.U {
 		v = mesh.North
 	}
-	for i := 0; i < abs(dst.V-src.V); i++ {
-		moves = append(moves, h)
+	cur := src
+	for cur.V != dst.V {
+		next := cur.Step(h)
+		p = append(p, mesh.Link{From: cur, To: next})
+		cur = next
 	}
-	for i := 0; i < abs(dst.U-src.U); i++ {
-		moves = append(moves, v)
+	for cur.U != dst.U {
+		next := cur.Step(v)
+		p = append(p, mesh.Link{From: cur, To: next})
+		cur = next
 	}
-	return FromMoves(src, moves)
+	return p
 }
 
 // YX returns the YX path: all vertical hops first, then horizontal.

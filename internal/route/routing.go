@@ -69,13 +69,29 @@ func (r Routing) Validate(orig comm.Set, maxPaths int) error {
 // mesh.LinkID. The Section 3.4 validity constraint is that every entry
 // stays at or below the model's maximum bandwidth.
 func (r Routing) Loads() []float64 {
-	loads := make([]float64, r.Mesh.LinkIDSpace())
-	for _, f := range r.Flows {
-		for _, l := range f.Path {
-			loads[r.Mesh.LinkID(l)] += f.Comm.Rate
+	return r.LoadsInto(nil)
+}
+
+// LoadsInto is Loads accumulating into dst's backing array when it has the
+// capacity (pass dst[:0] or a previous result to reuse a scratch buffer,
+// like the package's other *Into forms) — the buffer-reusing read path for
+// hot evaluation loops.
+func (r Routing) LoadsInto(dst []float64) []float64 {
+	n := r.Mesh.LinkIDSpace()
+	if cap(dst) < n {
+		dst = make([]float64, n)
+	} else {
+		dst = dst[:n]
+		for i := range dst {
+			dst[i] = 0
 		}
 	}
-	return loads
+	for _, f := range r.Flows {
+		for _, l := range f.Path {
+			dst[r.Mesh.LinkID(l)] += f.Comm.Rate
+		}
+	}
+	return dst
 }
 
 // Result is the evaluation of a routing under a power model.

@@ -1,0 +1,141 @@
+package route
+
+import (
+	"testing"
+
+	"repro/internal/comm"
+	"repro/internal/mesh"
+)
+
+func TestPathSetAcquireReusesBacking(t *testing.T) {
+	var ps PathSet
+	set := comm.Set{{ID: 2}, {ID: 5}}
+	ps.ResetFor(set)
+	p := ps.Acquire(5, 4)
+	if len(p) != 0 || cap(p) < 4 {
+		t.Fatalf("Acquire returned len=%d cap=%d", len(p), cap(p))
+	}
+	p = append(p, mesh.Link{From: mesh.Coord{U: 1, V: 1}, To: mesh.Coord{U: 1, V: 2}})
+	ps.Set(5, p)
+	first := &ps.Get(5)[0]
+	again := ps.Acquire(5, 1)
+	again = append(again, mesh.Link{From: mesh.Coord{U: 2, V: 1}, To: mesh.Coord{U: 2, V: 2}})
+	if &again[0] != first {
+		t.Error("Acquire did not reuse the slot's backing array")
+	}
+	if ps.Get(2) != nil {
+		t.Errorf("untouched slot not empty: %v", ps.Get(2))
+	}
+}
+
+func TestPathSetSetCopyDoesNotAlias(t *testing.T) {
+	var ps PathSet
+	ps.Reset(1)
+	src := Path{{From: mesh.Coord{U: 1, V: 1}, To: mesh.Coord{U: 1, V: 2}}}
+	ps.SetCopy(0, src)
+	src[0] = mesh.Link{From: mesh.Coord{U: 9, V: 9}, To: mesh.Coord{U: 9, V: 8}}
+	if ps.Get(0)[0] == src[0] {
+		t.Error("SetCopy aliased the source path")
+	}
+}
+
+func TestCoordSet(t *testing.T) {
+	m := mesh.MustNew(8, 8)
+	var s CoordSet
+	s.Reset(m)
+	if s.Len() != 0 {
+		t.Fatalf("fresh set has %d members", s.Len())
+	}
+	a, b := mesh.Coord{U: 1, V: 1}, mesh.Coord{U: 8, V: 8}
+	s.Add(a)
+	s.Add(a) // idempotent
+	s.Add(b)
+	if s.Len() != 2 || !s.Has(a) || !s.Has(b) || s.Has(mesh.Coord{U: 4, V: 4}) {
+		t.Errorf("membership broken: len=%d", s.Len())
+	}
+	s.Reset(m)
+	if s.Len() != 0 || s.Has(a) {
+		t.Error("Reset did not clear the set")
+	}
+}
+
+func TestWorkspaceBindKeepsStateOnSameDims(t *testing.T) {
+	ws := NewWorkspace()
+	m1 := mesh.MustNew(4, 6)
+	ws.Bind(m1)
+	tr := ws.Tracker()
+	got := ws.Scratch("x", func() any { return new(int) })
+	m2 := mesh.MustNew(4, 6) // same dims, different mesh value
+	ws.Bind(m2)
+	if ws.Tracker() != tr {
+		t.Error("same-dims rebind replaced the tracker")
+	}
+	if ws.Tracker().Mesh() != m2 {
+		t.Error("rebind did not repoint the tracker's mesh")
+	}
+	if ws.Scratch("x", func() any { return new(int) }) != got {
+		t.Error("same-dims rebind dropped scratch")
+	}
+	ws.Bind(mesh.MustNew(6, 4)) // dims change
+	if ws.Scratch("x", func() any { return new(int) }) == got {
+		t.Error("dims change kept stale scratch")
+	}
+	if n := ws.Tracker().Mesh().Q(); n != 4 {
+		t.Errorf("tracker not resized: Q=%d", n)
+	}
+}
+
+func TestRoutingCloneIsDeep(t *testing.T) {
+	m := mesh.MustNew(3, 3)
+	p := XY(mesh.Coord{U: 1, V: 1}, mesh.Coord{U: 3, V: 3})
+	r := Routing{Mesh: m, Flows: []Flow{{Comm: comm.Comm{ID: 1, Src: mesh.Coord{U: 1, V: 1}, Dst: mesh.Coord{U: 3, V: 3}, Rate: 5}, Path: p}}}
+	cp := r.Clone()
+	p[0] = mesh.Link{From: mesh.Coord{U: 2, V: 2}, To: mesh.Coord{U: 2, V: 3}}
+	if cp.Flows[0].Path[0] == p[0] {
+		t.Error("Clone shares path backing with the original")
+	}
+}
+
+func TestLoadsIntoAndView(t *testing.T) {
+	m := mesh.MustNew(3, 3)
+	tr := NewLoadTracker(m)
+	l := mesh.Link{From: mesh.Coord{U: 1, V: 1}, To: mesh.Coord{U: 1, V: 2}}
+	tr.Add(l, 42)
+	buf := make([]float64, 1)
+	got := tr.LoadsInto(buf)
+	if len(got) != m.LinkIDSpace() || got[m.LinkID(l)] != 42 {
+		t.Fatalf("LoadsInto = len %d", len(got))
+	}
+	view := tr.LoadsView()
+	if &view[0] != &tr.loads[0] {
+		t.Error("LoadsView copied")
+	}
+	r := Routing{Mesh: m, Flows: []Flow{{Comm: comm.Comm{ID: 0, Src: l.From, Dst: l.To, Rate: 7}, Path: Path{l}}}}
+	dst := make([]float64, m.LinkIDSpace())
+	dst[0] = 99 // stale: LoadsInto must zero it
+	dst = r.LoadsInto(dst)
+	if dst[m.LinkID(l)] != 7 || dst[0] != 0 && m.LinkID(l) != 0 {
+		t.Errorf("Routing.LoadsInto = %v", dst[m.LinkID(l)])
+	}
+}
+
+func TestLinksByLoadDescIntoMatchesFresh(t *testing.T) {
+	m := mesh.MustNew(5, 5)
+	tr := NewLoadTracker(m)
+	for i, l := range m.Links() {
+		tr.Add(l, float64((i*7)%13)) // duplicates exercise the id tiebreak
+	}
+	want := tr.LinksByLoadDesc()
+	var buf []mesh.Link
+	for round := 0; round < 3; round++ {
+		buf = tr.LinksByLoadDescInto(buf)
+		if len(buf) != len(want) {
+			t.Fatalf("round %d: len %d, want %d", round, len(buf), len(want))
+		}
+		for i := range want {
+			if buf[i] != want[i] {
+				t.Fatalf("round %d: order diverged at %d: %v vs %v", round, i, buf[i], want[i])
+			}
+		}
+	}
+}

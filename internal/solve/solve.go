@@ -66,6 +66,16 @@ type Options struct {
 	// order-sensitive greedy heuristics (zero value is the paper's
 	// weight-descending).
 	Order comm.Order
+	// Workspace, when non-nil, lets the policy reuse dense scratch state
+	// (per-comm path slots, load trackers, frontier bitsets) across calls
+	// — the amortization hook of the experiment engine's per-worker
+	// scratch and of any caller running many solves on one goroutine.
+	// Routings returned under a workspace may alias its memory and are
+	// valid until the next call that reuses it (deep-copy with
+	// route.Routing.Clone to keep them); results are bit-for-bit
+	// identical with or without a workspace. A Workspace must not be
+	// shared between goroutines.
+	Workspace *route.Workspace
 }
 
 // Solver computes a routing for an instance. Route returns a structurally
