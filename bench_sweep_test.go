@@ -1,0 +1,95 @@
+// Streaming-sweep benchmark harness: the per-trial allocation guard of
+// the sink/streaming layer (sinks may allocate per point, never per
+// trial) and the BENCH_sweep.json emitter CI uses to track the streamed
+// sweep pipeline alongside the per-policy solver numbers.
+package repro_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"testing"
+
+	"repro/internal/experiments"
+	"repro/internal/scenario"
+)
+
+// benchSweepSpec is one congested point (the Figure 7(a) midpoint shape)
+// streamed to both incremental sinks.
+func benchSweepSpec(trials int) scenario.Spec {
+	return scenario.Spec{
+		ID: "bench", Title: "bench",
+		Params: scenario.Params{WMin: 100, WMax: 1500},
+		Axis:   scenario.AxisN, Points: []float64{70},
+		Trials: trials, Seed: 1,
+		Policies: []string{"XY"},
+	}
+}
+
+func runBenchSweep(b testing.TB, trials int) {
+	sp := benchSweepSpec(trials)
+	err := experiments.Sweep(sp, experiments.SweepOptions{},
+		experiments.NewCSVSink(io.Discard, io.Discard),
+		experiments.NewJSONLSink(io.Discard))
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkSweepStreaming measures a streamed sweep point end to end —
+// engine, reduction, CSV and JSONL sinks — and guards the per-trial
+// allocation budget: the streaming layer must inherit the pooled engine's
+// discipline, with sink work amortized per point. A sink (or reduction)
+// that allocates per trial blows straight through the same bound the
+// panel runner enforces.
+func BenchmarkSweepStreaming(b *testing.B) {
+	const trials = 64
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		runBenchSweep(b, trials)
+	}
+	b.StopTimer()
+	// AllocsPerRun pins GOMAXPROCS to 1: exactly the serial per-trial hot
+	// path plus the per-point sink emissions, amortized over the trials.
+	perTrial := testing.AllocsPerRun(3, func() { runBenchSweep(b, trials) }) / trials
+	b.ReportMetric(perTrial, "allocs/trial")
+	if perTrial > maxAllocsPerTrial {
+		b.Fatalf("per-trial allocations %.0f exceed the guard %d — the streaming layer is allocating on the per-trial path",
+			perTrial, maxAllocsPerTrial)
+	}
+}
+
+// TestEmitSweepBenchJSON writes BENCH_sweep.json (ns/op and allocs/op for
+// one streamed sweep point) when BENCH_SWEEP_JSON names the output path —
+// the CI hook tracking the sweep pipeline's perf trajectory next to
+// BENCH_solvers.json. Without the variable the test is a no-op.
+func TestEmitSweepBenchJSON(t *testing.T) {
+	path := os.Getenv("BENCH_SWEEP_JSON")
+	if path == "" {
+		t.Skip("BENCH_SWEEP_JSON not set")
+	}
+	const trials = 32
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			runBenchSweep(b, trials)
+		}
+	})
+	rows := map[string]any{
+		"sweep_point": map[string]any{
+			"trials":        trials,
+			"ns_per_op":     float64(res.NsPerOp()),
+			"allocs_per_op": res.AllocsPerOp(),
+			"bytes_per_op":  res.AllocedBytesPerOp(),
+		},
+	}
+	data, err := json.MarshalIndent(rows, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fmt.Printf("wrote %s\n", path)
+}

@@ -1,46 +1,99 @@
-// Command experiments regenerates the paper's evaluation: every Figure 7–9
-// panel, the Figure 2 example, the Section 6.4 summary statistics, the
-// Theorem 1 and Lemma 2 worst-case ratios, and the discrete-event NoC
-// cross-validation.
+// Command experiments regenerates the paper's evaluation and runs
+// arbitrary declarative scenario sweeps: every Figure 7–9 panel, the
+// Figure 2 example, the Section 6.4 summary statistics, the Theorem 1 and
+// Lemma 2 worst-case ratios, the discrete-event NoC cross-validation —
+// plus any registered workload source on any mesh through a spec file or
+// flags, streaming per-point results to CSV/JSONL as they complete.
 //
 // Usage:
 //
 //	experiments -exp fig7a -trials 400
 //	experiments -exp all -trials 100 -csv results/
-//	experiments -exp summary -trials 20
-//	experiments -exp fig7b -policies XY,PR,2MP,MAXMP,SA
+//	experiments -exp summary -trials 20 -policies XY,XYI,PR,SA
+//	experiments -spec examples/specs/smoke.json -csv out/
+//	experiments -source tornado -mesh 16x16 -policies XY,PR,MAXMP
+//	experiments -spec big.json -csv out/ -resume   # continue an interrupted sweep
+//
+// The canned figure ids are aliases for canned scenario specs; everything
+// runs through the same streaming sweep pipeline.
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/scenario"
 	"repro/internal/tables"
 )
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment id: fig2, fig7a..fig9c, summary, thm1, lemma2, noc, all")
-		trials   = flag.Int("trials", 0, "trials per point (0 = default 400; the paper used 50000)")
-		seed     = flag.Int64("seed", 0, "seed offset added to each panel's base seed")
-		csvDir   = flag.String("csv", "", "directory for CSV output (optional)")
-		policies = flag.String("policies", "", "comma-separated policy list for the figure panels fig7a..fig9c only (default the paper's heuristics; registered: "+strings.Join(core.Policies(), ", ")+")")
+		exp    = flag.String("exp", "all", "canned experiment id: fig2, fig7a..fig9c, summary, thm1, lemma2, open1mp, patterns, noc, all (ignored when -spec/-source is given)")
+		trials = flag.Int("trials", 0, "trials per point (0 = spec value or default 400; the paper used 50000)")
+		seed   = flag.Int64("seed", 0, "seed offset added to each sweep's base seed")
+		csvDir = flag.String("csv", "", "directory for streamed CSV output (optional)")
+		jsonl  = flag.String("jsonl", "", "file for streamed JSON-lines output (optional, sweeps only)")
+		md     = flag.Bool("md", false, "render tables as markdown instead of aligned text")
+		pols   = flag.String("policies", "", "comma-separated policy list, applied uniformly to every experiment that evaluates policies (registered: "+strings.Join(core.Policies(), ", ")+")")
+		spec   = flag.String("spec", "", "JSON sweep spec file to run (see examples/specs/)")
+		source = flag.String("source", "", "build a sweep from flags: scenario source name (registered: "+strings.Join(scenario.Sources(), ", ")+")")
+		meshGe = flag.String("mesh", "", "mesh geometry PxQ for -source sweeps (default 8x8)")
+		axis   = flag.String("axis", "", "sweep axis for -source sweeps: n, weight, length, rate (default: single point)")
+		points = flag.String("points", "", "comma-separated x-values for -axis")
+		nComms = flag.Int("n", 0, "base communication count for -source sweeps (default 30 for the random family)")
+		wmin   = flag.Float64("wmin", 0, "minimum weight Mb/s for -source sweeps (default 100 when no -rate)")
+		wmax   = flag.Float64("wmax", 0, "maximum weight Mb/s for -source sweeps (default 1500 when no -rate)")
+		rate   = flag.Float64("rate", 0, "fixed per-flow rate Mb/s for the pattern sources")
+		length = flag.Int("length", 0, "exact Manhattan length for the random family")
+		resume = flag.Bool("resume", false, "resume an interrupted sweep from the streamed CSV in -csv (skips completed points)")
+		prog   = flag.Bool("progress", false, "report per-point progress on stderr")
 	)
 	flag.Parse()
-	if err := run(*exp, *trials, *seed, *csvDir, *policies); err != nil {
+	if err := run(cfg{
+		exp: *exp, trials: *trials, seed: *seed, csvDir: *csvDir, jsonl: *jsonl,
+		md: *md, policies: parseList(*pols), specFile: *spec, source: *source,
+		mesh: *meshGe, axis: *axis, points: *points, n: *nComms,
+		wmin: *wmin, wmax: *wmax, rate: *rate, length: *length,
+		resume: *resume, progress: *prog,
+	}); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
 }
 
-// parsePolicies splits the -policies flag into a clean list (nil when
-// unset, so panels fall back to the paper's heuristic line-up).
-func parsePolicies(s string) []string {
+type cfg struct {
+	exp      string
+	trials   int
+	seed     int64
+	csvDir   string
+	jsonl    string
+	md       bool
+	policies []string
+	specFile string
+	source   string
+	mesh     string
+	axis     string
+	points   string
+	n        int
+	wmin     float64
+	wmax     float64
+	rate     float64
+	length   int
+	resume   bool
+	progress bool
+}
+
+// parseList splits a comma-separated flag into a clean list (nil when
+// unset).
+func parseList(s string) []string {
 	if s == "" {
 		return nil
 	}
@@ -53,69 +106,344 @@ func parsePolicies(s string) []string {
 	return out
 }
 
-func run(exp string, trials int, seed int64, csvDir, policies string) error {
-	if csvDir != "" {
-		if err := os.MkdirAll(csvDir, 0o755); err != nil {
+// policyFree are the canned experiments that compare fixed routings and
+// genuinely cannot honor a -policies list.
+var policyFree = map[string]bool{"fig2": true, "thm1": true, "lemma2": true, "open1mp": true}
+
+func run(c cfg) error {
+	if c.csvDir != "" {
+		if err := os.MkdirAll(c.csvDir, 0o755); err != nil {
 			return err
 		}
 	}
-	pols := parsePolicies(policies)
-	ids := []string{exp}
-	if exp == "all" {
-		ids = []string{"fig2", "fig7a", "fig7b", "fig7c", "fig8a", "fig8b", "fig8c",
-			"fig9a", "fig9b", "fig9c", "summary", "thm1", "lemma2", "open1mp", "patterns", "noc"}
-		if pols != nil {
-			// Only the figure panels can honor a policy list; running the
-			// rest would silently ignore it.
-			ids = []string{"fig7a", "fig7b", "fig7c", "fig8a", "fig8b", "fig8c",
-				"fig9a", "fig9b", "fig9c"}
+	if c.resume && c.csvDir == "" {
+		return fmt.Errorf("-resume needs -csv: the streamed CSV is the checkpoint")
+	}
+
+	// Declarative sweeps: a spec file, or a spec built from flags.
+	if c.specFile != "" || c.source != "" {
+		sp, err := c.buildSpec()
+		if err != nil {
+			return err
+		}
+		return c.runSweep(sp)
+	}
+
+	ids := []string{c.exp}
+	if c.exp == "all" {
+		ids = append([]string{"fig2"}, experiments.FigureIDs()...)
+		ids = append(ids, "summary", "thm1", "lemma2", "open1mp", "patterns", "noc")
+		if c.policies != nil {
+			// -policies applies uniformly to every policy-evaluating
+			// experiment; the fixed comparisons are skipped loudly rather
+			// than silently ignoring the list.
+			kept := ids[:0]
+			for _, id := range ids {
+				if policyFree[id] || (id == "noc" && len(c.policies) != 1) {
+					fmt.Fprintf(os.Stderr, "experiments: note: skipping %s (-policies does not apply: %s)\n",
+						id, policyFreeReason(id, c.policies))
+					continue
+				}
+				kept = append(kept, id)
+			}
+			ids = kept
 		}
 	}
 	for _, id := range ids {
-		if pols != nil {
-			if _, err := experiments.PanelByID(id); err != nil {
-				return fmt.Errorf("%s: -policies only applies to the figure panels (fig7a..fig9c)", id)
+		if c.policies != nil && c.exp != "all" {
+			if policyFree[id] {
+				return fmt.Errorf("%s: -policies does not apply: %s", id, policyFreeReason(id, c.policies))
+			}
+			if id == "noc" && len(c.policies) != 1 {
+				return fmt.Errorf("noc: -policies does not apply: %s", policyFreeReason(id, c.policies))
 			}
 		}
-		if err := runOne(id, trials, seed, csvDir, pols); err != nil {
+		if err := c.runOne(id); err != nil {
 			return fmt.Errorf("%s: %w", id, err)
 		}
 	}
 	return nil
 }
 
-func runOne(id string, trials int, seed int64, csvDir string, policies []string) error {
+func policyFreeReason(id string, policies []string) string {
+	if id == "noc" {
+		return fmt.Sprintf("the simulator replays exactly one routing, got %d policies", len(policies))
+	}
+	return "it compares fixed routings from the paper"
+}
+
+// buildSpec loads the -spec file or assembles a spec from the -source
+// flag family, then applies the uniform overrides (-trials, -seed,
+// -policies).
+func (c cfg) buildSpec() (scenario.Spec, error) {
+	if c.specFile != "" && c.source != "" {
+		return scenario.Spec{}, fmt.Errorf("-spec and -source are mutually exclusive")
+	}
+	var sp scenario.Spec
+	if c.specFile != "" {
+		var err error
+		if sp, err = scenario.LoadSpec(c.specFile); err != nil {
+			return scenario.Spec{}, err
+		}
+	} else {
+		sp = scenario.Spec{
+			Source: c.source,
+			Mesh:   c.mesh,
+			Axis:   c.axis,
+			Params: scenario.Params{N: c.n, WMin: c.wmin, WMax: c.wmax, Rate: c.rate, Length: c.length},
+		}
+		// Default the weight range only when the user set no weight knob at
+		// all (a lone -wmin/-wmax stays as given and fails loudly in Bind);
+		// default -n only for the random family — every other source has
+		// its own documented default (hotspot: all cores, pipeline: the
+		// whole mesh, trace: a tuned light load).
+		if c.rate == 0 && c.wmin == 0 && c.wmax == 0 {
+			sp.Params.WMin, sp.Params.WMax = 100, 1500
+		}
+		if sp.Params.N == 0 && strings.EqualFold(c.source, "uniform") {
+			sp.Params.N = 30
+		}
+		if c.points != "" {
+			for _, f := range parseList(c.points) {
+				x, err := strconv.ParseFloat(f, 64)
+				if err != nil {
+					return scenario.Spec{}, fmt.Errorf("-points: %w", err)
+				}
+				sp.Points = append(sp.Points, x)
+			}
+		}
+		sp.ID = c.source
+		if err := sp.Validate(); err != nil {
+			return scenario.Spec{}, err
+		}
+	}
+	return c.overrideSpec(sp), nil
+}
+
+// overrideSpec applies the uniform CLI overrides to a sweep spec.
+func (c cfg) overrideSpec(sp scenario.Spec) scenario.Spec {
+	if c.trials != 0 {
+		sp.Trials = c.trials
+	}
+	sp.Seed += c.seed
+	if c.policies != nil {
+		sp.Policies = c.policies
+	}
+	return sp
+}
+
+// runSweep streams one spec through the sink stack selected by the
+// flags: accumulated tables on stdout, plus CSV/JSONL/progress streams.
+func (c cfg) runSweep(sp scenario.Spec) error {
+	id := sp.ID
+	if id == "" {
+		id = "sweep"
+	}
+	ts := experiments.NewTableSink()
+	sinks := []experiments.Sink{ts}
+	start := 0
+
+	var closers []io.Closer
+	defer func() {
+		for _, cl := range closers {
+			cl.Close()
+		}
+	}()
+	if c.csvDir != "" {
+		powPath := filepath.Join(c.csvDir, sanitize(id+"_power")+".csv")
+		failPath := filepath.Join(c.csvDir, sanitize(id+"_failures")+".csv")
+		var powEnd, failEnd int64
+		if c.resume {
+			var err error
+			if start, powEnd, failEnd, err = resumePoint(powPath, failPath); err != nil {
+				return err
+			}
+		}
+		// With nothing checkpointed the resume is a fresh start: truncate,
+		// so a header-only file is not appended with a second header. A
+		// real checkpoint is truncated to its last complete row (a kill
+		// mid-flush can leave a torn final line).
+		pw, err := openStream(powPath, start > 0, powEnd)
+		if err != nil {
+			return err
+		}
+		closers = append(closers, pw)
+		fw, err := openStream(failPath, start > 0, failEnd)
+		if err != nil {
+			return err
+		}
+		closers = append(closers, fw)
+		sinks = append(sinks, experiments.NewCSVSink(pw, fw))
+	}
+	if c.jsonl != "" {
+		jw, err := openStream(c.jsonl, c.resume && start > 0, -1)
+		if err != nil {
+			return err
+		}
+		closers = append(closers, jw)
+		sinks = append(sinks, experiments.NewJSONLSink(jw))
+	}
+	if c.progress {
+		sinks = append(sinks, experiments.NewProgressSink(os.Stderr))
+	}
+	if err := experiments.Sweep(sp, experiments.SweepOptions{Start: start}, sinks...); err != nil {
+		return err
+	}
+	np, fr := ts.Tables()
+	if err := c.render(np); err != nil {
+		return err
+	}
+	return c.render(fr)
+}
+
+// streamFile is a buffered, flushing stream target for incremental sinks.
+type streamFile struct {
+	f *os.File
+	w *bufio.Writer
+}
+
+// openStream opens a sink target. appendMode continues a checkpoint:
+// the file is first truncated to checkpointEnd (the end of its last
+// complete row; -1 keeps the current size) and writes append after it.
+// Otherwise the file starts fresh.
+func openStream(path string, appendMode bool, checkpointEnd int64) (*streamFile, error) {
+	flags := os.O_CREATE | os.O_WRONLY
+	if !appendMode {
+		flags |= os.O_TRUNC
+	}
+	f, err := os.OpenFile(path, flags, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if appendMode {
+		if checkpointEnd >= 0 {
+			if err := f.Truncate(checkpointEnd); err != nil {
+				f.Close()
+				return nil, err
+			}
+		}
+		if _, err := f.Seek(0, io.SeekEnd); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	return &streamFile{f: f, w: bufio.NewWriter(f)}, nil
+}
+
+func (s *streamFile) Write(p []byte) (int, error) {
+	n, err := s.w.Write(p)
+	if err != nil {
+		return n, err
+	}
+	// Flush per write: each sink emission is one complete record, so the
+	// file on disk is always a valid checkpoint.
+	return n, s.w.Flush()
+}
+
+func (s *streamFile) Close() error {
+	if err := s.w.Flush(); err != nil {
+		s.f.Close()
+		return err
+	}
+	return s.f.Close()
+}
+
+// resumePoint derives the resume index from the streamed CSV checkpoint:
+// the number of complete data rows, and the byte offsets the files must
+// be truncated to (a kill mid-flush can leave a torn final line, which
+// does not count as a checkpointed row). The lower of the two files wins
+// when they disagree by the one row an interrupt can tear.
+func resumePoint(powPath, failPath string) (start int, powEnd, failEnd int64, err error) {
+	pn, pEnd, err := countCSVRows(powPath, 0)
+	if err != nil {
+		return 0, 0, 0, fmt.Errorf("-resume: %w", err)
+	}
+	fn, fEnd, err := countCSVRows(failPath, 0)
+	if err != nil {
+		return 0, 0, 0, fmt.Errorf("-resume: %w", err)
+	}
+	if pn != fn {
+		// The power file streams before the failures file, so an
+		// interrupt between the two writes leaves it one row ahead;
+		// resume from the shorter file and truncate the longer back.
+		if pn != fn+1 {
+			return 0, 0, 0, fmt.Errorf("-resume: checkpoint mismatch: %d power rows vs %d failure rows", pn, fn)
+		}
+		if pn, pEnd, err = countCSVRows(powPath, fn); err != nil {
+			return 0, 0, 0, fmt.Errorf("-resume: %w", err)
+		}
+	}
+	return pn, pEnd, fEnd, nil
+}
+
+// countCSVRows counts the newline-terminated data rows (lines after the
+// header) of a streamed CSV file and returns the byte offset just past
+// the last counted line, stopping early at maxRows when positive. A
+// missing file means nothing is checkpointed.
+func countCSVRows(path string, maxRows int) (rows int, end int64, err error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return 0, 0, nil
+	}
+	if err != nil {
+		return 0, 0, err
+	}
+	defer f.Close()
+	r := bufio.NewReader(f)
+	lines := 0
+	for {
+		line, err := r.ReadString('\n')
+		if err == io.EOF {
+			// A torn final line (no trailing newline) is not a complete
+			// row; it is truncated away on resume.
+			break
+		}
+		if err != nil {
+			return 0, 0, err
+		}
+		lines++
+		end += int64(len(line))
+		if maxRows > 0 && lines-1 == maxRows {
+			break
+		}
+	}
+	rows = lines - 1 // discount the header
+	if rows < 0 {
+		rows = 0
+	}
+	return rows, end, nil
+}
+
+func (c cfg) runOne(id string) error {
 	switch id {
 	case "fig2":
 		pxy, p1mp, p2mp, err := experiments.Figure2Powers()
 		if err != nil {
 			return err
 		}
-		t := tables.New("Figure 2: comparison of routing rules (2x2 mesh, Pleak=0, P0=1, α=3, BW=4)",
-			"routing", "power", "paper")
-		t.AddRow("XY", fmt.Sprintf("%g", pxy), "128")
-		t.AddRow("best 1-MP", fmt.Sprintf("%g", p1mp), "56")
-		t.AddRow("best 2-MP (γ2 split 1+2)", fmt.Sprintf("%g", p2mp), "32")
-		return emit(t, csvDir, id)
+		return c.emit(experiments.Figure2Table(pxy, p1mp, p2mp), id)
 	case "summary":
-		per := trials
+		per := c.trials
 		if per == 0 {
 			per = 20
 		}
-		s := experiments.RunSummary(per, 1+seed)
-		return emit(s.Table(), csvDir, id)
+		s, err := experiments.RunSummaryWith(per, 1+c.seed, c.policies)
+		if err != nil {
+			return err
+		}
+		return c.emit(s.Table(), id)
 	case "thm1":
 		rows, err := experiments.RunTheorem1([]int{1, 2, 3, 4, 6, 8, 12, 16}, 3)
 		if err != nil {
 			return err
 		}
-		return emit(experiments.Theorem1Table(rows), csvDir, id)
+		return c.emit(experiments.Theorem1Table(rows), id)
 	case "lemma2":
 		rows, err := experiments.RunLemma2([]int{1, 2, 4, 8, 16, 32}, 2.95)
 		if err != nil {
 			return err
 		}
-		return emit(experiments.Lemma2Table(rows, 2.95), csvDir, id)
+		return c.emit(experiments.Lemma2Table(rows, 2.95), id)
 	case "open1mp":
 		rows, err := experiments.RunOpenProblem([][2]int{
 			{2, 2}, {2, 4}, {3, 2}, {3, 3}, {3, 4}, {4, 2}, {4, 3}, {4, 4}, {8, 4}, {8, 8},
@@ -123,54 +451,64 @@ func runOne(id string, trials int, seed int64, csvDir string, policies []string)
 		if err != nil {
 			return err
 		}
-		return emit(experiments.OpenProblemTable(rows, 3), csvDir, id)
+		return c.emit(experiments.OpenProblemTable(rows, 3), id)
 	case "patterns":
-		rows, err := experiments.RunPatterns(900)
+		rows, err := experiments.RunPatternsWith(900, c.policies)
 		if err != nil {
 			return err
 		}
-		return emit(experiments.PatternTable(rows), csvDir, id)
+		return c.emit(experiments.PatternTable(rows), id)
 	case "noc":
-		v, err := experiments.RunNoCValidation(1+seed, 15)
+		policy := "PR"
+		if len(c.policies) == 1 {
+			policy = c.policies[0]
+		} else if len(c.policies) > 1 {
+			return fmt.Errorf("-policies does not apply: %s", policyFreeReason("noc", c.policies))
+		}
+		v, err := experiments.RunNoCValidationWith(1+c.seed, 15, policy)
 		if err != nil {
 			return err
 		}
-		t := tables.New("E15: discrete-event simulation cross-validation (PR routing, n=15)",
+		t := tables.New(fmt.Sprintf("E15: discrete-event simulation cross-validation (%s routing, n=%d)", v.Policy, v.Comms),
 			"metric", "value")
 		t.AddRow("analytic power (mW)", fmt.Sprintf("%.3f", v.AnalyticPowerMW))
 		t.AddRow("simulated power (mW)", fmt.Sprintf("%.3f", v.SimPowerMW))
 		t.AddRow("worst goodput error", fmt.Sprintf("%.2f%%", v.WorstRateError*100))
 		t.AddRow("mean link utilization", fmt.Sprintf("%.3f", v.MeanUtilization))
-		return emit(t, csvDir, id)
+		return c.emit(t, id)
 	default:
-		panel, err := experiments.PanelByID(id)
+		sp, err := experiments.SpecByID(id)
 		if err != nil {
 			return err
 		}
-		panel.Trials = trials
-		panel.Seed += seed
-		panel.Policies = policies
-		res, err := panel.RunE()
-		if err != nil {
-			return err
-		}
-		np, fr := res.Tables()
-		if err := emit(np, csvDir, id+"_power"); err != nil {
-			return err
-		}
-		return emit(fr, csvDir, id+"_failures")
+		return c.runSweep(c.overrideSpec(sp))
 	}
 }
 
-func emit(t *tables.Table, csvDir, name string) error {
-	if err := t.Render(os.Stdout); err != nil {
+// render prints one table to stdout in the selected format, followed by a
+// blank line.
+func (c cfg) render(t *tables.Table) error {
+	if c.md {
+		if err := t.WriteMarkdown(os.Stdout); err != nil {
+			return err
+		}
+	} else if err := t.Render(os.Stdout); err != nil {
 		return err
 	}
 	fmt.Println()
-	if csvDir == "" {
+	return nil
+}
+
+// emit renders a non-sweep table and mirrors it to -csv like the sweeps'
+// streamed files.
+func (c cfg) emit(t *tables.Table, name string) error {
+	if err := c.render(t); err != nil {
+		return err
+	}
+	if c.csvDir == "" {
 		return nil
 	}
-	f, err := os.Create(filepath.Join(csvDir, sanitize(name)+".csv"))
+	f, err := os.Create(filepath.Join(c.csvDir, sanitize(name)+".csv"))
 	if err != nil {
 		return err
 	}

@@ -14,7 +14,17 @@
 // per-comm path slots, load trackers and coord bitsets replace the
 // per-call map state the policies historically rebuilt, so a warmed
 // workspace routes with ~zero allocations. Reuse is opt-in via
-// solve.Options.Workspace; results are identical with or without it. See
-// README.md for the quickstart, the policy table, the package map and the
-// workspace pooling contract.
+// solve.Options.Workspace; results are identical with or without it.
+//
+// Workload generation mirrors the policy registry: internal/scenario
+// holds a case-insensitive self-registering registry of workload sources
+// (the Section 6 random families, permutation patterns, application
+// traffic, trace-driven replay out of the NoC simulator) plus the
+// declarative sweep Spec that round-trips through JSON. The experiment
+// layer streams any Spec point by point through pluggable sinks
+// (experiments.Sweep) over the pooled engine; the paper's figure panels
+// are canned Specs, pinned byte-identical to the historical output by
+// golden tests, and interrupted sweeps resume from their streamed CSV
+// checkpoint. See README.md for the quickstart, the policy and source
+// tables, the Spec schema, the package map and the pooling contracts.
 package repro

@@ -1,26 +1,23 @@
 // Package experiments regenerates every figure of the paper's Section 6
-// evaluation plus the Section 4 theory plots: declarative panel
-// configurations (one per figure panel), a parallel trial runner, and the
-// §6.4 summary statistics. cmd/experiments and the repository benchmarks
-// are thin wrappers over this package.
+// evaluation plus the Section 4 theory plots — and generalizes them: the
+// figure panels are canned scenario.Spec values run through a generic
+// streaming Sweep over the pooled trial engine, so any registered
+// workload source × policy list × mesh combination runs through the same
+// pipeline. cmd/experiments and the repository benchmarks are thin
+// wrappers over this package.
 package experiments
 
 import (
 	"fmt"
 
 	"repro/internal/comm"
+	"repro/internal/scenario"
 )
 
-// Workload describes how one instance of a panel point is drawn.
-type Workload struct {
-	// N is the number of communications.
-	N int
-	// WMin and WMax bound the uniform weight distribution (Mb/s).
-	WMin, WMax float64
-	// Length, when non-zero, forces every communication to that exact
-	// Manhattan length (the Section 6.3 sweeps).
-	Length int
-}
+// Workload describes how one instance of a panel point is drawn. It is
+// the scenario layer's declarative parameter bundle; the panel's Source
+// decides which fields matter.
+type Workload = scenario.Params
 
 // Point is one x-position of a panel.
 type Point struct {
@@ -29,11 +26,18 @@ type Point struct {
 }
 
 // Panel configures one figure panel: an x-sweep of workloads evaluated by
-// a policy list over Trials random instances per point.
+// a policy list over Trials random instances per point. Panels are the
+// expanded, imperative form of a scenario.Spec (PanelOf); the canned
+// figures are Specs first.
 type Panel struct {
 	ID     string
 	Title  string
 	XLabel string
+	// Mesh is the "PxQ" platform geometry ("" = the paper's 8x8).
+	Mesh string
+	// Source is the registered scenario source drawing each trial's
+	// communication set ("" = "uniform", the Section 6 random family).
+	Source string
 	Points []Point
 	// Policies is the list of registered policy names the panel sweeps
 	// (any mix of families: heuristics, SA, multi-path, OPT, MAXMP).
@@ -57,52 +61,66 @@ type Panel struct {
 // shapes.
 const DefaultTrials = 400
 
-// Figure7a is the small-communications sweep of §6.1.1:
-// δ ~ U[100,1500] Mb/s, n from 5 to 140.
-func Figure7a() Panel {
-	return sweepN("fig7a", "Figure 7(a): sensitivity to #comms, small communications",
-		100, 1500, []int{5, 10, 20, 30, 40, 50, 60, 70, 80, 90, 100, 110, 120, 130, 140})
+// figureIDs is the canonical order of the canned figure sweeps.
+var figureIDs = []string{
+	"fig7a", "fig7b", "fig7c",
+	"fig8a", "fig8b", "fig8c",
+	"fig9a", "fig9b", "fig9c",
 }
 
-// Figure7b is the mixed-communications sweep of §6.1.2:
-// δ ~ U[100,2500], n from 5 to 70.
-func Figure7b() Panel {
-	return sweepN("fig7b", "Figure 7(b): sensitivity to #comms, mixed communications",
-		100, 2500, []int{5, 10, 15, 20, 25, 30, 35, 40, 45, 50, 55, 60, 65, 70})
+// FigureIDs returns the canned figure sweep identifiers in presentation
+// order.
+func FigureIDs() []string {
+	return append([]string(nil), figureIDs...)
 }
 
-// Figure7c is the big-communications sweep of §6.1.3:
-// δ ~ U[2500,3500], n from 2 to 30.
-func Figure7c() Panel {
-	return sweepN("fig7c", "Figure 7(c): sensitivity to #comms, big communications",
-		2500, 3500, []int{2, 4, 6, 8, 10, 12, 14, 16, 18, 20, 22, 24, 26, 28, 30})
-}
-
-func sweepN(id, title string, wmin, wmax float64, ns []int) Panel {
-	p := Panel{ID: id, Title: title, XLabel: "number of communications", Seed: 1}
-	for _, n := range ns {
-		p.Points = append(p.Points, Point{X: float64(n), W: Workload{N: n, WMin: wmin, WMax: wmax}})
+// Specs returns the canned figure sweeps of Section 6 as declarative
+// scenario specs, keyed by ID. Every spec runs on the paper's 8×8 mesh
+// with the heuristic line-up at DefaultTrials unless overridden.
+func Specs() map[string]scenario.Spec {
+	out := make(map[string]scenario.Spec)
+	for _, sp := range []scenario.Spec{
+		sweepN("fig7a", "Figure 7(a): sensitivity to #comms, small communications",
+			100, 1500, []float64{5, 10, 20, 30, 40, 50, 60, 70, 80, 90, 100, 110, 120, 130, 140}),
+		sweepN("fig7b", "Figure 7(b): sensitivity to #comms, mixed communications",
+			100, 2500, []float64{5, 10, 15, 20, 25, 30, 35, 40, 45, 50, 55, 60, 65, 70}),
+		sweepN("fig7c", "Figure 7(c): sensitivity to #comms, big communications",
+			2500, 3500, []float64{2, 4, 6, 8, 10, 12, 14, 16, 18, 20, 22, 24, 26, 28, 30}),
+		sweepWeight("fig8a", "Figure 8(a): sensitivity to size, few communications (n=10)",
+			10, 100, 3500),
+		sweepWeight("fig8b", "Figure 8(b): sensitivity to size, some communications (n=20)",
+			20, 100, 3500),
+		sweepWeight("fig8c", "Figure 8(c): sensitivity to size, numerous communications (n=40)",
+			40, 100, 1800),
+		sweepLength("fig9a", "Figure 9(a): sensitivity to length, numerous small communications (n=100)",
+			100, 200, 800),
+		sweepLength("fig9b", "Figure 9(b): sensitivity to length, some mixed communications (n=25)",
+			25, 100, 3500),
+		sweepLength("fig9c", "Figure 9(c): sensitivity to length, few big communications (n=12)",
+			12, 2700, 3300),
+	} {
+		out[sp.ID] = sp
 	}
-	return p
+	return out
 }
 
-// Figure8a sweeps the average weight with 10 communications (§6.2.1).
-func Figure8a() Panel {
-	return sweepWeight("fig8a", "Figure 8(a): sensitivity to size, few communications (n=10)",
-		10, 100, 3500)
+// SpecByID looks a canned figure spec up by its identifier.
+func SpecByID(id string) (scenario.Spec, error) {
+	sp, ok := Specs()[id]
+	if !ok {
+		return scenario.Spec{}, fmt.Errorf("experiments: unknown spec %q", id)
+	}
+	return sp, nil
 }
 
-// Figure8b sweeps the average weight with 20 communications (§6.2.2).
-func Figure8b() Panel {
-	return sweepWeight("fig8b", "Figure 8(b): sensitivity to size, some communications (n=20)",
-		20, 100, 3500)
-}
-
-// Figure8c sweeps the average weight with 40 communications (§6.2.3);
-// the paper's x-axis stops near 1800 where everything fails.
-func Figure8c() Panel {
-	return sweepWeight("fig8c", "Figure 8(c): sensitivity to size, numerous communications (n=40)",
-		40, 100, 1800)
+// sweepN is the Figures 7a–c shape: δ ~ U[wmin, wmax], n swept.
+func sweepN(id, title string, wmin, wmax float64, ns []float64) scenario.Spec {
+	return scenario.Spec{
+		ID: id, Title: title,
+		Params: scenario.Params{WMin: wmin, WMax: wmax},
+		Axis:   scenario.AxisN, Points: ns,
+		Seed: 1,
+	}
 }
 
 // weightBand is the relative half-width of the weight distribution around
@@ -110,59 +128,132 @@ func Figure8c() Panel {
 // average weight without stating the spread; a narrow band reproduces its
 // sharp n-flows-per-link feasibility cliffs (e.g. the drop at 1751 Mb/s
 // where two communications can no longer share a 3.5 Gb/s link).
-const weightBand = 0.10
+const weightBand = scenario.DefaultWBand
 
-func sweepWeight(id, title string, n int, lo, hi float64) Panel {
-	p := Panel{ID: id, Title: title, XLabel: "average weight (Mb/s)", Seed: 2}
+// sweepWeight is the Figures 8a–c shape: n fixed, average weight swept
+// over [lo, hi] in 200 Mb/s steps with the weightBand spread.
+func sweepWeight(id, title string, n int, lo, hi float64) scenario.Spec {
+	var pts []float64
 	for avg := lo; avg <= hi; avg += 200 {
-		p.Points = append(p.Points, Point{
-			X: avg,
-			W: Workload{N: n, WMin: avg * (1 - weightBand), WMax: avg * (1 + weightBand)},
-		})
+		pts = append(pts, avg)
 	}
-	return p
+	return scenario.Spec{
+		ID: id, Title: title,
+		Params: scenario.Params{N: n, WBand: weightBand},
+		Axis:   scenario.AxisWeight, Points: pts,
+		Seed: 2,
+	}
 }
+
+// sweepLength is the Figures 9a–c shape: n and the weight range fixed,
+// the exact Manhattan length swept from 2 to 14.
+func sweepLength(id, title string, n int, wmin, wmax float64) scenario.Spec {
+	var pts []float64
+	for ell := 2; ell <= 14; ell++ {
+		pts = append(pts, float64(ell))
+	}
+	return scenario.Spec{
+		ID: id, Title: title,
+		Params: scenario.Params{N: n, WMin: wmin, WMax: wmax},
+		Axis:   scenario.AxisLength, Points: pts,
+		Seed: 3,
+	}
+}
+
+// PanelOf expands a declarative spec into a runnable panel: the swept
+// axis applied to every point, captions defaulted, the power model
+// resolved.
+func PanelOf(sp scenario.Spec) (Panel, error) {
+	if err := sp.Validate(); err != nil {
+		return Panel{}, err
+	}
+	p := Panel{
+		ID:       sp.ID,
+		Title:    sp.Title,
+		XLabel:   sp.XLabel,
+		Mesh:     sp.Mesh,
+		Source:   sp.Source,
+		Policies: append([]string(nil), sp.Policies...),
+		Trials:   sp.Trials,
+		Seed:     sp.Seed,
+	}
+	if p.ID == "" {
+		p.ID = "sweep"
+	}
+	if p.Title == "" {
+		p.Title = fmt.Sprintf("%s sweep (%s)", sp.SourceName(), p.ID)
+	}
+	if p.XLabel == "" {
+		p.XLabel = sp.DefaultXLabel()
+	}
+	if sp.Power == "continuous" {
+		p.Continuous = true
+	}
+	for _, x := range sp.XValues() {
+		p.Points = append(p.Points, Point{X: x, W: sp.At(x)})
+	}
+	return p, nil
+}
+
+// mustPanel expands a canned spec (always valid).
+func mustPanel(sp scenario.Spec, err error) Panel {
+	if err == nil {
+		var p Panel
+		p, err = PanelOf(sp)
+		if err == nil {
+			return p
+		}
+	}
+	panic(err)
+}
+
+// Figure7a is the small-communications sweep of §6.1.1:
+// δ ~ U[100,1500] Mb/s, n from 5 to 140.
+func Figure7a() Panel { return mustPanel(SpecByID("fig7a")) }
+
+// Figure7b is the mixed-communications sweep of §6.1.2:
+// δ ~ U[100,2500], n from 5 to 70.
+func Figure7b() Panel { return mustPanel(SpecByID("fig7b")) }
+
+// Figure7c is the big-communications sweep of §6.1.3:
+// δ ~ U[2500,3500], n from 2 to 30.
+func Figure7c() Panel { return mustPanel(SpecByID("fig7c")) }
+
+// Figure8a sweeps the average weight with 10 communications (§6.2.1).
+func Figure8a() Panel { return mustPanel(SpecByID("fig8a")) }
+
+// Figure8b sweeps the average weight with 20 communications (§6.2.2).
+func Figure8b() Panel { return mustPanel(SpecByID("fig8b")) }
+
+// Figure8c sweeps the average weight with 40 communications (§6.2.3);
+// the paper's x-axis stops near 1800 where everything fails.
+func Figure8c() Panel { return mustPanel(SpecByID("fig8c")) }
 
 // Figure9a sweeps the communication length with 100 small communications
 // (§6.3.1): δ ~ U[200,800].
-func Figure9a() Panel {
-	return sweepLength("fig9a", "Figure 9(a): sensitivity to length, numerous small communications (n=100)",
-		100, 200, 800)
-}
+func Figure9a() Panel { return mustPanel(SpecByID("fig9a")) }
 
 // Figure9b sweeps the length with 25 mid-weighted communications (§6.3.2):
 // δ ~ U[100,3500].
-func Figure9b() Panel {
-	return sweepLength("fig9b", "Figure 9(b): sensitivity to length, some mixed communications (n=25)",
-		25, 100, 3500)
-}
+func Figure9b() Panel { return mustPanel(SpecByID("fig9b")) }
 
 // Figure9c sweeps the length with 12 big communications (§6.3.3):
 // δ ~ U[2700,3300].
-func Figure9c() Panel {
-	return sweepLength("fig9c", "Figure 9(c): sensitivity to length, few big communications (n=12)",
-		12, 2700, 3300)
-}
+func Figure9c() Panel { return mustPanel(SpecByID("fig9c")) }
 
-func sweepLength(id, title string, n int, wmin, wmax float64) Panel {
-	p := Panel{ID: id, Title: title, XLabel: "average length (hops)", Seed: 3}
-	for ell := 2; ell <= 14; ell++ {
-		p.Points = append(p.Points, Point{
-			X: float64(ell),
-			W: Workload{N: n, WMin: wmin, WMax: wmax, Length: ell},
-		})
+// figurePanels returns the nine canned figure panels in order.
+func figurePanels() []Panel {
+	out := make([]Panel, 0, len(figureIDs))
+	for _, id := range figureIDs {
+		out = append(out, mustPanel(SpecByID(id)))
 	}
-	return p
+	return out
 }
 
 // Panels returns every figure panel keyed by ID.
 func Panels() map[string]Panel {
 	out := make(map[string]Panel)
-	for _, p := range []Panel{
-		Figure7a(), Figure7b(), Figure7c(),
-		Figure8a(), Figure8b(), Figure8c(),
-		Figure9a(), Figure9b(), Figure9c(),
-	} {
+	for _, p := range figurePanels() {
 		out[p.ID] = p
 	}
 	return out

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
 
@@ -8,12 +9,13 @@ import (
 	"repro/internal/mesh"
 	"repro/internal/power"
 	"repro/internal/route"
+	"repro/internal/scenario"
 	"repro/internal/solve"
-	"repro/internal/workload"
 )
 
-// engine is the pooled trial runner behind Panel.Run: the panel's policy
-// list resolved against the solve registry once, plus a flat outcome
+// engine is the pooled trial runner behind Panel.Stream: the panel's
+// policy list resolved against the solve registry once, the workload
+// source resolved against the scenario registry once, plus a flat outcome
 // buffer reused across points so the per-trial path allocates nothing of
 // its own. Everything the engine layer touches — workload buffers, load
 // tracking, outcome storage — is per-worker scratch, and each worker also
@@ -23,6 +25,7 @@ import (
 type engine struct {
 	m       *mesh.Mesh
 	model   power.Model
+	src     scenario.Source
 	names   []string
 	solvers []solve.Solver
 	opts    solve.Options
@@ -51,15 +54,40 @@ func newEngine(p Panel, trials int) (*engine, error) {
 		solvers[i] = s
 		names[i] = s.Name() // canonical casing for the series
 	}
+	mp, mq := 8, 8
+	if p.Mesh != "" {
+		var err error
+		if mp, mq, err = scenario.ParseMesh(p.Mesh); err != nil {
+			return nil, err
+		}
+	}
+	srcName := p.Source
+	if srcName == "" {
+		srcName = "uniform"
+	}
+	src, err := scenario.Lookup(srcName)
+	if err != nil {
+		return nil, err
+	}
 	e := &engine{
-		m:        mesh.MustNew(8, 8),
+		m:        mesh.MustNew(mp, mq),
 		model:    p.model(),
+		src:      src,
 		names:    names,
 		solvers:  solvers,
 		opts:     solve.Options{Order: p.Order},
 		trials:   trials,
 		outcomes: make([]instanceOutcome, trials*len(solvers)),
 		bestIdx:  -1,
+	}
+	// Pre-validate every point's params so a sweep fails loudly before
+	// the first trial (e.g. a bit-defined permutation on a 6x6 mesh)
+	// instead of mid-run on a worker.
+	for pi, pt := range p.Points {
+		if _, err := src.Bind(e.m, pt.W); err != nil {
+			return nil, fmt.Errorf("experiments: %s point %d (x=%g): source %q on %v: %w",
+				p.ID, pi, pt.X, src.Name(), e.m, err)
+		}
 	}
 	byName := make(map[string]int, len(names))
 	for i, n := range names {
@@ -82,19 +110,27 @@ func newEngine(p Panel, trials int) (*engine, error) {
 	return e, nil
 }
 
-// scratch is one worker's private reusable state: the workload buffers and
-// evaluation tracker of the engine layer, plus the dense solver workspace
-// every policy routes into (so solver-internal state — path slots, load
-// trackers, frontier bitsets — is reused across the worker's trials too).
+// scratch is one worker's private reusable state: the bound workload
+// drawer and set buffer of the engine layer, the evaluation tracker,
+// plus the dense solver workspace every policy routes into (so
+// solver-internal state — path slots, load trackers, frontier bitsets —
+// is reused across the worker's trials too).
 type scratch struct {
-	gen   *workload.Generator
-	set   comm.Set
-	loads *route.LoadTracker
-	ws    *route.Workspace
+	drawer scenario.Drawer
+	set    comm.Set
+	loads  *route.LoadTracker
+	ws     *route.Workspace
 }
 
-func (e *engine) newScratch() *scratch {
-	return &scratch{gen: workload.New(e.m, 0), loads: route.NewLoadTracker(e.m), ws: route.NewWorkspace()}
+// newScratch binds the engine's source for one point's params. Bind
+// errors are impossible here — newEngine pre-validated every point — so
+// they panic rather than plumb through the pooled loop.
+func (e *engine) newScratch(w Workload) *scratch {
+	d, err := e.src.Bind(e.m, w)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: pre-validated bind failed: %v", err))
+	}
+	return &scratch{drawer: d, loads: route.NewLoadTracker(e.m), ws: route.NewWorkspace()}
 }
 
 // trialSeed derives the deterministic per-trial seed: the historical
@@ -105,25 +141,37 @@ func trialSeed(panelSeed int64, point, trial int) int64 {
 }
 
 // draw regenerates the trial's communication set into the worker's buffer.
-func (s *scratch) draw(seed int64, w Workload) comm.Set {
-	s.gen.Reseed(seed)
-	if w.Length > 0 {
-		s.set = s.gen.TargetLengthInto(s.set, w.N, w.WMin, w.WMax, w.Length)
-	} else {
-		s.set = s.gen.UniformInto(s.set, w.N, w.WMin, w.WMax)
+func (s *scratch) draw(seed int64) (comm.Set, error) {
+	set, err := s.drawer.Draw(seed, s.set)
+	if err != nil {
+		return nil, err
 	}
-	return s.set
+	s.set = set
+	return set, nil
 }
 
 // runPoint evaluates every policy on every trial of one panel point,
 // filling e.outcomes. Trials are spread over a worker pool; each worker
 // owns its scratch, and outcome rows are disjoint per trial, so the loop
-// is race-free without locks.
-func (e *engine) runPoint(panelSeed int64, pi int, pt Point) {
+// is race-free without locks on the happy path.
+func (e *engine) runPoint(panelSeed int64, pi int, pt Point) error {
 	npol := len(e.solvers)
-	parallelScratch(e.trials, e.newScratch, func(s *scratch, trial int) {
+	var errMu sync.Mutex
+	var firstErr error
+	fail := func(err error) {
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		errMu.Unlock()
+	}
+	parallelScratch(e.trials, func() *scratch { return e.newScratch(pt.W) }, func(s *scratch, trial int) {
 		seed := trialSeed(panelSeed, pi, trial)
-		set := s.draw(seed, pt.W)
+		set, err := s.draw(seed)
+		if err != nil {
+			fail(fmt.Errorf("experiments: point %d trial %d: %w", pi, trial, err))
+			return
+		}
 		in := solve.Instance{Mesh: e.m, Model: e.model, Comms: set}
 		opts := e.opts
 		opts.Seed = seed
@@ -147,6 +195,7 @@ func (e *engine) runPoint(panelSeed int64, pi int, pt Point) {
 		}
 		e.deriveBest(row)
 	})
+	return firstErr
 }
 
 // deriveBest fills the BEST entry of an outcome row from its constituent

@@ -31,7 +31,10 @@ func TestMixedPolicyPanelAgreesWithCore(t *testing.T) {
 	for trial := 0; trial < p.Trials; trial++ {
 		seed := trialSeed(p.Seed, 0, trial)
 		m := p.model()
-		set := drawSet(mesh.MustNew(8, 8), seed, w)
+		set, err := drawSet(mesh.MustNew(8, 8), seed, w)
+		if err != nil {
+			t.Fatal(err)
+		}
 		inst, err := core.NewInstance(8, 8, m, set)
 		if err != nil {
 			t.Fatal(err)

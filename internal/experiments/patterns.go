@@ -17,13 +17,16 @@ type PatternCell struct {
 	PowerMW  float64
 }
 
-// PatternRow is the evaluation of every heuristic on one classic NoC
+// PatternRow is the evaluation of a policy list on one classic NoC
 // permutation pattern at a fixed per-flow rate.
 type PatternRow struct {
 	Pattern workload.Pattern
 	Rate    float64
 	Flows   int
-	Cells   map[string]PatternCell // keyed by heuristic name, plus BEST
+	// Names is the evaluated policy list plus the trailing derived BEST —
+	// the column order of PatternTable.
+	Names []string
+	Cells map[string]PatternCell // keyed by policy name, plus BEST
 }
 
 // RunPatterns routes the classic permutation benchmarks (bit-complement,
@@ -32,24 +35,44 @@ type PatternRow struct {
 // the experiment extends the paper's random workloads with the structured
 // traffic the NoC literature evaluates on.
 func RunPatterns(rate float64) ([]PatternRow, error) {
+	return RunPatternsWith(rate, nil)
+}
+
+// RunPatternsWith is RunPatterns over an explicit registered policy list
+// (nil means ConstructiveNames); BEST is derived as the best feasible of
+// the list, and a literal "BEST" entry is absorbed into the derived
+// column so any -policies list the figure sweeps accept works here too.
+func RunPatternsWith(rate float64, policies []string) ([]PatternRow, error) {
+	policies = dropBest(policies)
 	m := mesh.MustNew(8, 8)
 	model := power.KimHorowitz()
+	names := make([]string, 0, len(policies)+1)
+	solvers := make([]solve.Solver, 0, len(policies))
+	for _, name := range policies {
+		s, err := solve.Lookup(name)
+		if err != nil {
+			return nil, err
+		}
+		solvers = append(solvers, s)
+		names = append(names, s.Name())
+	}
+	names = append(names, "BEST")
 	var rows []PatternRow
 	for _, p := range workload.Patterns() {
 		set, err := workload.Permutation(m, nil, p, rate)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: %v: %w", p, err)
 		}
-		row := PatternRow{Pattern: p, Rate: rate, Flows: len(set), Cells: make(map[string]PatternCell)}
+		row := PatternRow{Pattern: p, Rate: rate, Flows: len(set), Names: names, Cells: make(map[string]PatternCell)}
 		bestPow := -1.0
-		for _, name := range ConstructiveNames {
-			r, err := solve.Route(name, solve.Instance{Mesh: m, Model: model, Comms: set}, solve.Options{})
+		for si, solver := range solvers {
+			r, err := solver.Route(solve.Instance{Mesh: m, Model: model, Comms: set}, solve.Options{})
 			if err != nil {
 				return nil, err
 			}
 			res := route.Evaluate(r, model)
 			cell := PatternCell{Feasible: res.Feasible, PowerMW: res.Power.Total()}
-			row.Cells[name] = cell
+			row.Cells[names[si]] = cell
 			if cell.Feasible && (bestPow < 0 || cell.PowerMW < bestPow) {
 				bestPow = cell.PowerMW
 			}
@@ -62,14 +85,18 @@ func RunPatterns(rate float64) ([]PatternRow, error) {
 
 // PatternTable renders the permutation benchmark results.
 func PatternTable(rows []PatternRow) *tables.Table {
-	headers := append([]string{"pattern", "flows"}, HeuristicNames...)
+	names := HeuristicNames
+	if len(rows) > 0 && len(rows[0].Names) > 0 {
+		names = rows[0].Names
+	}
+	headers := append([]string{"pattern", "flows"}, names...)
 	t := tables.New(
 		fmt.Sprintf("Permutation benchmarks on 8×8 (%.0f Mb/s per flow; power in mW, FAIL = bandwidth violated)",
 			rowsRate(rows)),
 		headers...)
 	for _, r := range rows {
 		cells := []string{r.Pattern.String(), fmt.Sprintf("%d", r.Flows)}
-		for _, name := range HeuristicNames {
+		for _, name := range names {
 			c := r.Cells[name]
 			if !c.Feasible {
 				cells = append(cells, "FAIL")

@@ -35,12 +35,23 @@ func (r Result) Tables() (normPower, failures *tables.Table) {
 
 // Table renders the §6.4 summary against the paper's reported values.
 func (s Summary) Table() *tables.Table {
+	names := s.Names
+	if len(names) == 0 {
+		names = HeuristicNames
+	}
+	ref := s.Ref
+	if ref == "" {
+		ref = "XY"
+	}
 	t := tables.New(
 		fmt.Sprintf("Section 6.4 summary (%d instances)", s.Instances),
-		"heuristic", "success", "paper", "inv-power gain vs XY", "paper", "mean time")
+		"heuristic", "success", "paper", "inv-power gain vs "+ref, "paper", "mean time")
 	paperSuccess := map[string]string{"XY": "0.15", "XYI": "0.46", "PR": "0.50", "BEST": "0.51"}
 	paperGain := map[string]string{"XY": "1.00", "XYI": "2.44", "PR": "2.57", "BEST": "2.95"}
-	for _, name := range HeuristicNames {
+	if ref != "XY" {
+		paperSuccess, paperGain = nil, nil // the paper's numbers are XY-normalized
+	}
+	for _, name := range names {
 		dur := "-"
 		if d, ok := s.MeanSolveTime[name]; ok {
 			dur = d.Round(10 * time.Microsecond).String()
@@ -59,6 +70,17 @@ func orDash(s string) string {
 		return "-"
 	}
 	return s
+}
+
+// Figure2Table renders the Figure 2 routing-rule comparison against the
+// paper's values.
+func Figure2Table(pxy, p1mp, p2mp float64) *tables.Table {
+	t := tables.New("Figure 2: comparison of routing rules (2x2 mesh, Pleak=0, P0=1, α=3, BW=4)",
+		"routing", "power", "paper")
+	t.AddRow("XY", fmt.Sprintf("%g", pxy), "128")
+	t.AddRow("best 1-MP", fmt.Sprintf("%g", p1mp), "56")
+	t.AddRow("best 2-MP (γ2 split 1+2)", fmt.Sprintf("%g", p2mp), "32")
+	return t
 }
 
 // Theorem1Table renders the Theorem 1 rows.

@@ -1,10 +1,14 @@
 package experiments
 
 import (
+	"fmt"
+	"strings"
+
 	"repro/internal/comm"
 	"repro/internal/mesh"
 	"repro/internal/power"
 	"repro/internal/route"
+	"repro/internal/scenario"
 	"repro/internal/solve"
 	"repro/internal/stats"
 	"repro/internal/workload"
@@ -72,6 +76,144 @@ func (p Panel) policyNames() []string {
 	return HeuristicNames
 }
 
+// dropBest strips "BEST" from a policy list for the runners that always
+// derive it themselves; an empty remainder falls back to the paper's
+// constructive line-up (BEST over exactly those six).
+func dropBest(policies []string) []string {
+	out := make([]string, 0, len(policies))
+	for _, p := range policies {
+		if strings.EqualFold(p, "BEST") {
+			continue
+		}
+		out = append(out, p)
+	}
+	if len(out) == 0 {
+		return ConstructiveNames
+	}
+	return out
+}
+
+// SweepOptions tunes a streaming sweep.
+type SweepOptions struct {
+	// Start skips the points before this index — the resume hook: because
+	// per-trial seeds derive only from (seed, point, trial), a sweep
+	// restarted at the checkpointed point index streams exactly the
+	// output an uninterrupted run would have produced from that point on.
+	Start int
+}
+
+// Sweep expands a declarative spec and streams its evaluation point by
+// point into the sinks: every policy on every seeded trial of each point,
+// reduced to the paper's normalized-inverse-power and failure-ratio
+// series. Sinks receive each point as soon as it is evaluated, so long
+// sweeps emit partial results and can be resumed by point index after an
+// interruption.
+func Sweep(sp scenario.Spec, opt SweepOptions, sinks ...Sink) error {
+	p, err := PanelOf(sp)
+	if err != nil {
+		return err
+	}
+	return p.Stream(opt, sinks...)
+}
+
+// Stream runs the panel through the pooled engine, emitting each
+// evaluated point to the sinks in order. It is the core every runner
+// shares: Sweep feeds it specs, Run collects its stream into a Result.
+func (p Panel) Stream(opt SweepOptions, sinks ...Sink) error {
+	trials := p.Trials
+	if trials == 0 {
+		trials = DefaultTrials
+	}
+	e, err := newEngine(p, trials)
+	if err != nil {
+		return err
+	}
+	if opt.Start < 0 || opt.Start > len(p.Points) {
+		return fmt.Errorf("experiments: resume point %d outside 0..%d", opt.Start, len(p.Points))
+	}
+	meta := SweepMeta{
+		ID:       p.ID,
+		Title:    p.Title,
+		XLabel:   p.XLabel,
+		Policies: e.names,
+		X:        xValues(p.Points),
+		Trials:   trials,
+		Start:    opt.Start,
+	}
+	for _, sk := range sinks {
+		if err := sk.Begin(meta); err != nil {
+			return err
+		}
+	}
+	npol := len(e.solvers)
+	for pi := opt.Start; pi < len(p.Points); pi++ {
+		pt := p.Points[pi]
+		if err := e.runPoint(p.Seed, pi, pt); err != nil {
+			return err
+		}
+		pr := reducePoint(pi, pt.X, npol, trials, func(trial int) []instanceOutcome {
+			return e.outcomes[trial*npol : (trial+1)*npol]
+		})
+		for _, sk := range sinks {
+			if err := sk.Point(pr); err != nil {
+				return err
+			}
+		}
+	}
+	for _, sk := range sinks {
+		if err := sk.End(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func xValues(pts []Point) []float64 {
+	xs := make([]float64, len(pts))
+	for i, pt := range pts {
+		xs[i] = pt.X
+	}
+	return xs
+}
+
+// reducePoint folds one point's per-trial outcome rows into the two
+// series values of that point: normalized inverse power against the best
+// feasible policy of each row, and failure ratio — the paper's
+// normalization, shared by the streaming runner and the benchmark
+// baseline so neither can drift.
+func reducePoint(pi int, x float64, npol, trials int, rowAt func(trial int) []instanceOutcome) PointResult {
+	accPow := make([]stats.Accumulator, npol)
+	accFail := make([]stats.Ratio, npol)
+	for trial := 0; trial < trials; trial++ {
+		row := rowAt(trial)
+		best := -1.0
+		for _, o := range row {
+			if o.feasible && (best < 0 || o.pow < best) {
+				best = o.pow
+			}
+		}
+		for si, o := range row {
+			val := 0.0
+			if o.feasible && best > 0 {
+				val = best / o.pow // (1/P)/(1/Pbest)
+			}
+			accPow[si].Add(val)
+			accFail[si].Add(!o.feasible)
+		}
+	}
+	pr := PointResult{
+		Index:        pi,
+		X:            x,
+		NormPowerInv: make([]float64, npol),
+		FailureRatio: make([]float64, npol),
+	}
+	for si := 0; si < npol; si++ {
+		pr.NormPowerInv[si] = accPow[si].Mean()
+		pr.FailureRatio[si] = accFail[si].Value()
+	}
+	return pr
+}
+
 // Run evaluates the panel: Trials random instances per point (on a pooled
 // engine with per-worker scratch), every policy of the panel's list on
 // every instance, reduced to the normalized-inverse-power and
@@ -86,23 +228,14 @@ func (p Panel) Run() Result {
 	return res
 }
 
-// RunE is Run returning policy-resolution errors instead of panicking.
+// RunE is Run returning resolution errors instead of panicking.
 func (p Panel) RunE() (Result, error) {
-	trials := p.Trials
-	if trials == 0 {
-		trials = DefaultTrials
-	}
-	e, err := newEngine(p, trials)
-	if err != nil {
+	rs := &resultSink{}
+	if err := p.Stream(SweepOptions{}, rs); err != nil {
 		return Result{}, err
 	}
-	npol := len(e.solvers)
-	return p.reduce(e, trials, func(pi int, pt Point) func(int) []instanceOutcome {
-		e.runPoint(p.Seed, pi, pt)
-		return func(trial int) []instanceOutcome {
-			return e.outcomes[trial*npol : (trial+1)*npol]
-		}
-	}), nil
+	rs.result.Panel = p
+	return rs.result, nil
 }
 
 // RunBaseline is the pre-engine reference runner: the same trials, seeds
@@ -112,6 +245,9 @@ func (p Panel) RunE() (Result, error) {
 // pooled engine against it and tests can cross-check that pooling never
 // changes a figure.
 func (p Panel) RunBaseline() Result {
+	if p.Source != "" && p.Source != "uniform" {
+		panic(fmt.Sprintf("experiments: RunBaseline supports only the uniform source, not %q", p.Source))
+	}
 	trials := p.Trials
 	if trials == 0 {
 		trials = DefaultTrials
@@ -121,11 +257,20 @@ func (p Panel) RunBaseline() Result {
 		panic(err)
 	}
 	npol := len(e.solvers)
-	return p.reduce(e, trials, func(pi int, pt Point) func(int) []instanceOutcome {
+	rs := &resultSink{}
+	meta := SweepMeta{ID: p.ID, Title: p.Title, XLabel: p.XLabel,
+		Policies: e.names, X: xValues(p.Points), Trials: trials}
+	if err := rs.Begin(meta); err != nil {
+		panic(err)
+	}
+	for pi, pt := range p.Points {
 		outcomes := make([][]instanceOutcome, trials)
 		parallelFor(trials, func(trial int) {
 			seed := trialSeed(p.Seed, pi, trial)
-			set := drawSet(e.m, seed, pt.W)
+			set, err := drawSet(e.m, seed, pt.W)
+			if err != nil {
+				panic(err)
+			}
 			in := solve.Instance{Mesh: e.m, Model: e.model, Comms: set}
 			opts := e.opts
 			opts.Seed = seed
@@ -144,66 +289,20 @@ func (p Panel) RunBaseline() Result {
 			e.deriveBest(row)
 			outcomes[trial] = row
 		})
-		return func(trial int) []instanceOutcome { return outcomes[trial] }
-	})
-}
-
-// reduce folds per-trial outcome rows into the two series of a panel
-// result: normalized inverse power against the best feasible policy of
-// the row, and failure ratio. runPoint produces the rows of one point;
-// both Run and RunBaseline share this reduction so the benchmark baseline
-// can never drift from the paper's normalization.
-func (p Panel) reduce(e *engine, trials int,
-	runPoint func(pi int, pt Point) func(trial int) []instanceOutcome) Result {
-
-	res := Result{Panel: p, X: make([]float64, len(p.Points))}
-	accPow := make([][]stats.Accumulator, len(e.solvers))
-	accFail := make([][]stats.Ratio, len(e.solvers))
-	for si := range e.solvers {
-		accPow[si] = make([]stats.Accumulator, len(p.Points))
-		accFail[si] = make([]stats.Ratio, len(p.Points))
-	}
-
-	for pi, pt := range p.Points {
-		res.X[pi] = pt.X
-		rowAt := runPoint(pi, pt)
-		for trial := 0; trial < trials; trial++ {
-			row := rowAt(trial)
-			best := -1.0
-			for _, o := range row {
-				if o.feasible && (best < 0 || o.pow < best) {
-					best = o.pow
-				}
-			}
-			for si, o := range row {
-				val := 0.0
-				if o.feasible && best > 0 {
-					val = best / o.pow // (1/P)/(1/Pbest)
-				}
-				accPow[si][pi].Add(val)
-				accFail[si][pi].Add(!o.feasible)
-			}
+		pr := reducePoint(pi, pt.X, npol, trials, func(trial int) []instanceOutcome {
+			return outcomes[trial]
+		})
+		if err := rs.Point(pr); err != nil {
+			panic(err)
 		}
 	}
-
-	for si, name := range e.names {
-		s := Series{Name: name,
-			NormPowerInv: make([]float64, len(p.Points)),
-			FailureRatio: make([]float64, len(p.Points))}
-		for pi := range p.Points {
-			s.NormPowerInv[pi] = accPow[si][pi].Mean()
-			s.FailureRatio[pi] = accFail[si][pi].Value()
-		}
-		res.Series = append(res.Series, s)
-	}
-	return res
+	rs.result.Panel = p
+	return rs.result
 }
 
-// drawSet draws one instance of a workload with a throwaway generator.
-func drawSet(m *mesh.Mesh, seed int64, w Workload) comm.Set {
-	gen := workload.New(m, seed)
-	if w.Length > 0 {
-		return gen.TargetLength(w.N, w.WMin, w.WMax, w.Length)
-	}
-	return gen.Uniform(w.N, w.WMin, w.WMax)
+// drawSet draws one instance of a workload with a throwaway generator
+// (the random family only — the baseline runner predates the scenario
+// registry and exists to benchmark allocation behavior, not sources).
+func drawSet(m *mesh.Mesh, seed int64, w Workload) (comm.Set, error) {
+	return scenario.DrawRandom(workload.New(m, 0), seed, w, nil)
 }

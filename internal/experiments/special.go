@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 	"math"
+	"sync"
 	"time"
 
 	"repro/internal/comm"
@@ -13,6 +14,7 @@ import (
 	"repro/internal/noc"
 	"repro/internal/power"
 	"repro/internal/route"
+	"repro/internal/scenario"
 	"repro/internal/solve"
 	"repro/internal/stats"
 	"repro/internal/theory"
@@ -65,11 +67,17 @@ func Figure2Powers() (pxy, p1mp, p2mp float64, err error) {
 // Figure 7–9 instance families.
 type Summary struct {
 	Instances int
+	// Names is the evaluated policy list plus the trailing derived BEST —
+	// the row order of Table. Defaults to HeuristicNames.
+	Names []string
+	// Ref is the policy the inverse-power gains are normalized against
+	// ("XY" whenever it is in the line-up).
+	Ref string
 	// Success maps heuristic name to its fraction of instances solved
 	// (paper: XY 15%, XYI 46%, PR 50%, BEST 51%).
 	Success map[string]float64
-	// InvPowerGainVsXY is mean(1/P_h)/mean(1/P_XY), failures counting 0
-	// (paper: XYI 2.44, PR 2.57, BEST 2.95).
+	// InvPowerGainVsXY is mean(1/P_h)/mean(1/P_ref), failures counting 0
+	// (paper, with ref XY: XYI 2.44, PR 2.57, BEST 2.95).
 	InvPowerGainVsXY map[string]float64
 	// StaticFraction is the mean static/total power share of the BEST
 	// routing over solved instances (paper: ≈ 1/7).
@@ -79,21 +87,48 @@ type Summary struct {
 	MeanSolveTime map[string]time.Duration
 }
 
-// RunSummary draws trialsPerPoint instances per point of every Figure 7–9
-// panel and accumulates the §6.4 statistics.
+// RunSummary draws trialsPerPoint instances per point of every canned
+// Figure 7–9 spec and accumulates the §6.4 statistics over the paper's
+// constructive heuristics.
 func RunSummary(trialsPerPoint int, seed int64) Summary {
+	s, err := RunSummaryWith(trialsPerPoint, seed, nil)
+	if err != nil {
+		panic(err) // the default line-up is always registered
+	}
+	return s
+}
+
+// RunSummaryWith is RunSummary over an explicit policy list (nil means
+// ConstructiveNames): the same Figure 7–9 instance families drawn through
+// the scenario layer's canned specs, every listed policy on every
+// instance, BEST derived as the best feasible of the list (a literal
+// "BEST" entry is absorbed into the derived row, so any -policies list
+// the figure sweeps accept works here too). Gains are normalized against
+// XY when listed, else against the first policy.
+func RunSummaryWith(trialsPerPoint int, seed int64, policies []string) (Summary, error) {
 	if trialsPerPoint <= 0 {
 		trialsPerPoint = 10
 	}
+	policies = dropBest(policies)
 	m := mesh.MustNew(8, 8)
 	model := power.KimHorowitz()
-	solvers := make([]solve.Solver, 0, len(ConstructiveNames))
-	for _, name := range ConstructiveNames {
+	names := make([]string, 0, len(policies)+1)
+	solvers := make([]solve.Solver, 0, len(policies))
+	for _, name := range policies {
 		s, err := solve.Lookup(name)
 		if err != nil {
-			panic(err) // ConstructiveNames are always registered
+			return Summary{}, err
 		}
 		solvers = append(solvers, s)
+		names = append(names, s.Name())
+	}
+	names = append(names, "BEST")
+	ref := names[0]
+	for _, n := range names[:len(names)-1] {
+		if n == "XY" {
+			ref = "XY"
+			break
+		}
 	}
 
 	type task struct {
@@ -102,11 +137,7 @@ func RunSummary(trialsPerPoint int, seed int64) Summary {
 	}
 	var tasks []task
 	i := 0
-	for _, p := range []Panel{
-		Figure7a(), Figure7b(), Figure7c(),
-		Figure8a(), Figure8b(), Figure8c(),
-		Figure9a(), Figure9b(), Figure9c(),
-	} {
+	for _, p := range figurePanels() {
 		for _, pt := range p.Points {
 			for tr := 0; tr < trialsPerPoint; tr++ {
 				tasks = append(tasks, task{pt.W, seed*7_919 + int64(i)})
@@ -120,11 +151,28 @@ func RunSummary(trialsPerPoint int, seed int64) Summary {
 		times   []time.Duration
 	}
 	outs := make([]outcome, len(tasks))
-	newScratch := func() *scratch {
-		return &scratch{gen: workload.New(m, 0), loads: route.NewLoadTracker(m), ws: route.NewWorkspace()}
+	type sumScratch struct {
+		gen   *workload.Generator
+		set   comm.Set
+		loads *route.LoadTracker
+		ws    *route.Workspace
 	}
-	parallelScratch(len(tasks), newScratch, func(s *scratch, ti int) {
-		set := s.draw(tasks[ti].seed, tasks[ti].w)
+	newScratch := func() *sumScratch {
+		return &sumScratch{gen: workload.New(m, 0), loads: route.NewLoadTracker(m), ws: route.NewWorkspace()}
+	}
+	var errMu sync.Mutex
+	var firstErr error
+	parallelScratch(len(tasks), newScratch, func(s *sumScratch, ti int) {
+		set, err := scenario.DrawRandom(s.gen, tasks[ti].seed, tasks[ti].w, s.set)
+		if err != nil {
+			errMu.Lock()
+			if firstErr == nil {
+				firstErr = err
+			}
+			errMu.Unlock()
+			return
+		}
+		s.set = set
 		in := solve.Instance{Mesh: m, Model: model, Comms: set}
 		o := outcome{perHeur: make([]instanceOutcome, len(solvers)), times: make([]time.Duration, len(solvers))}
 		for hi, sv := range solvers {
@@ -140,11 +188,14 @@ func RunSummary(trialsPerPoint int, seed int64) Summary {
 		}
 		outs[ti] = o
 	})
+	if firstErr != nil {
+		return Summary{}, firstErr
+	}
 
 	success := make(map[string]*stats.Ratio)
 	invPower := make(map[string]*stats.Accumulator)
 	times := make(map[string]*stats.Accumulator)
-	for _, name := range HeuristicNames {
+	for _, name := range names {
 		success[name] = &stats.Ratio{}
 		invPower[name] = &stats.Accumulator{}
 		times[name] = &stats.Accumulator{}
@@ -154,7 +205,7 @@ func RunSummary(trialsPerPoint int, seed int64) Summary {
 	for _, o := range outs {
 		bestPow, bestStatic := -1.0, 0.0
 		for hi, r := range o.perHeur {
-			name := HeuristicNames[hi]
+			name := names[hi]
 			success[name].Add(r.feasible)
 			inv := 0.0
 			if r.feasible {
@@ -177,22 +228,24 @@ func RunSummary(trialsPerPoint int, seed int64) Summary {
 
 	s := Summary{
 		Instances:        len(tasks),
+		Names:            names,
+		Ref:              ref,
 		Success:          make(map[string]float64),
 		InvPowerGainVsXY: make(map[string]float64),
 		MeanSolveTime:    make(map[string]time.Duration),
 		StaticFraction:   staticFrac.Mean(),
 	}
-	xyInv := invPower["XY"].Mean()
-	for _, name := range HeuristicNames {
+	refInv := invPower[ref].Mean()
+	for _, name := range names {
 		s.Success[name] = success[name].Value()
-		if xyInv > 0 {
-			s.InvPowerGainVsXY[name] = invPower[name].Mean() / xyInv
+		if refInv > 0 {
+			s.InvPowerGainVsXY[name] = invPower[name].Mean() / refInv
 		}
 		if name != "BEST" {
 			s.MeanSolveTime[name] = time.Duration(times[name].Mean())
 		}
 	}
-	return s
+	return s, nil
 }
 
 // Theorem1Row is one size of the Theorem 1 / Figure 4 experiment.
@@ -288,6 +341,7 @@ func RunOpenProblem(sizes [][2]int, alpha float64) ([]OpenProblemRow, error) {
 // simulator (experiment E15): per-communication delivered rate versus
 // request, and simulated versus analytic power.
 type NoCValidation struct {
+	Policy          string
 	Comms           int
 	AnalyticPowerMW float64
 	SimPowerMW      float64
@@ -299,23 +353,38 @@ type NoCValidation struct {
 // simulator. Seeds yielding PR-infeasible instances are skipped until a
 // feasible one is found (bounded attempts).
 func RunNoCValidation(seed int64, n int) (NoCValidation, error) {
+	return RunNoCValidationWith(seed, n, "PR")
+}
+
+// RunNoCValidationWith is RunNoCValidation under an explicit registered
+// routing policy.
+func RunNoCValidationWith(seed int64, n int, policy string) (NoCValidation, error) {
 	m := mesh.MustNew(8, 8)
 	model := power.KimHorowitz()
+	solver, err := solve.Lookup(policy)
+	if err != nil {
+		return NoCValidation{}, err
+	}
 	for attempt := 0; attempt < 50; attempt++ {
-		set := drawSet(m, seed+int64(attempt)*101, Workload{N: n, WMin: 100, WMax: 1200})
-		res, err := heur.Solve(heur.PR{}, heur.Instance{Mesh: m, Model: model, Comms: set})
+		set, err := drawSet(m, seed+int64(attempt)*101, Workload{N: n, WMin: 100, WMax: 1200})
 		if err != nil {
 			return NoCValidation{}, err
 		}
+		r, err := solver.Route(solve.Instance{Mesh: m, Model: model, Comms: set}, solve.Options{})
+		if err != nil {
+			continue // infeasibility proofs / blown budgets: try the next seed
+		}
+		res := route.Evaluate(r, model)
 		if !res.Feasible {
 			continue
 		}
-		sim, err := noc.New(res.Routing, model, noc.Config{Horizon: 3000, Warmup: 500})
+		sim, err := noc.New(r, model, noc.Config{Horizon: 3000, Warmup: 500})
 		if err != nil {
 			return NoCValidation{}, err
 		}
 		st := sim.Run()
 		v := NoCValidation{
+			Policy:          solver.Name(),
 			Comms:           n,
 			AnalyticPowerMW: res.Power.Total(),
 			SimPowerMW:      st.PowerMW,

@@ -3,6 +3,8 @@ package noc
 import (
 	"fmt"
 	"io"
+
+	"repro/internal/comm"
 )
 
 // TraceEvent is one packet lifecycle record emitted by a traced run.
@@ -51,6 +53,53 @@ func (t *Tracer) WriteCSV(w io.Writer) error {
 		}
 	}
 	return nil
+}
+
+// ExportWorkload converts the trace's deliver events into a communication
+// set carrying each base communication's observed goodput: packets whose
+// injection fell inside [warmup, horizon) contribute packetBits bits, and
+// the rate is total delivered bits over the measurement window (Mb/s, the
+// same accounting as Stats.DeliveredRate). Communications that delivered
+// nothing are dropped; source, sink and ID come from the matching base
+// entry. The result reuses dst's storage, so trace-driven workload
+// generators can replay simulator observations without allocating per
+// draw. Events must come from a run over the base set; an unknown comm ID
+// in the trace is an error.
+func (t *Tracer) ExportWorkload(dst, base comm.Set, packetBits, warmup, horizon float64) (comm.Set, error) {
+	if packetBits <= 0 {
+		return nil, fmt.Errorf("noc: non-positive packet size %g", packetBits)
+	}
+	window := horizon - warmup
+	if window <= 0 {
+		return nil, fmt.Errorf("noc: empty measurement window [%g, %g)", warmup, horizon)
+	}
+	byID := make(map[int]int, len(base))
+	for i, c := range base {
+		byID[c.ID] = i
+	}
+	bits := make(map[int]float64, len(base))
+	for _, e := range t.events {
+		if e.Kind != "deliver" {
+			continue
+		}
+		if injected := e.Time - e.Lat; injected < warmup {
+			continue
+		}
+		if _, ok := byID[e.CommID]; !ok {
+			return nil, fmt.Errorf("noc: traced comm %d not in the base set", e.CommID)
+		}
+		bits[e.CommID] += packetBits
+	}
+	out := dst[:0]
+	for _, c := range base {
+		b := bits[c.ID]
+		if b <= 0 {
+			continue
+		}
+		c.Rate = b / window
+		out = append(out, c)
+	}
+	return out, nil
 }
 
 // Trace attaches a tracer to the simulator; pass nil to detach. Must be

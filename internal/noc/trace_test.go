@@ -1,8 +1,11 @@
 package noc
 
 import (
+	"math"
 	"strings"
 	"testing"
+
+	"repro/internal/comm"
 )
 
 func TestTracerRecordsLifecycle(t *testing.T) {
@@ -93,4 +96,54 @@ func TestNilTracerSafe(t *testing.T) {
 	}
 	sim.Trace(nil)
 	sim.Run() // must not panic
+}
+
+// ExportWorkload turns a trace into a communication set whose rates match
+// the simulator's own goodput accounting.
+func TestExportWorkload(t *testing.T) {
+	r, model := singleFlowRouting(t, 900)
+	cfg := Config{Horizon: 2000, Warmup: 200, PacketBits: 2048}
+	sim, err := New(r, model, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tr Tracer
+	sim.Trace(&tr)
+	st := sim.Run()
+
+	base := comm.Set{r.Flows[0].Comm}
+	set, err := tr.ExportWorkload(nil, base, cfg.PacketBits, cfg.Warmup, cfg.Horizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(set) != 1 {
+		t.Fatalf("exported %d comms, want 1", len(set))
+	}
+	got, want := set[0].Rate, st.DeliveredRate(1)
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("exported rate %.4f Mb/s, stats goodput %.4f", got, want)
+	}
+	if set[0].ID != 1 || set[0].Src != base[0].Src || set[0].Dst != base[0].Dst {
+		t.Errorf("exported comm %+v does not match base %+v", set[0], base[0])
+	}
+
+	// The export reuses the destination buffer.
+	again, err := tr.ExportWorkload(set, base, cfg.PacketBits, cfg.Warmup, cfg.Horizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &again[0] != &set[:1][0] {
+		t.Error("ExportWorkload did not reuse the destination buffer")
+	}
+
+	// Degenerate windows and unknown comms fail loudly.
+	if _, err := tr.ExportWorkload(nil, base, cfg.PacketBits, 100, 100); err == nil {
+		t.Error("empty window accepted")
+	}
+	if _, err := tr.ExportWorkload(nil, base, 0, cfg.Warmup, cfg.Horizon); err == nil {
+		t.Error("zero packet size accepted")
+	}
+	if _, err := tr.ExportWorkload(nil, comm.Set{}, cfg.PacketBits, cfg.Warmup, cfg.Horizon); err == nil {
+		t.Error("trace over comms missing from the base set accepted")
+	}
 }

@@ -1,0 +1,144 @@
+// Package scenario is the declarative workload layer of the library: every
+// way of producing a communication set on a mesh — the Section 6 random
+// families, the classic permutation patterns, application-shaped traffic
+// (hotspots, transposes, pipelines, stencils) and trace-driven sets
+// replayed out of the discrete-event NoC simulator — presents itself as a
+// Source and self-registers into a case-insensitive registry, mirroring
+// what internal/solve does for routing policies.
+//
+// A Source is bound to a mesh and a Params bundle once (Bind validates
+// loudly: a bit-defined permutation on a 6x6 mesh fails at bind time with
+// a typed error, not mid-sweep), yielding a Drawer whose Draw(seed) call
+// regenerates the set deterministically — the reseedable, buffer-reusing
+// contract the pooled experiment engine runs per trial.
+//
+// On top of the registry sits Spec (spec.go): a fully declarative sweep
+// description (mesh, source, params, axis, points, trials, seeds,
+// policies, power model) that round-trips through JSON, so new scenarios
+// need a spec file rather than new Go code.
+package scenario
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/comm"
+	"repro/internal/mesh"
+)
+
+// Params is the declarative knob bundle every source draws from. Sources
+// consume the fields that concern them and reject (at Bind time)
+// combinations they cannot honor. The zero value is not generally
+// runnable — most sources need a rate or a weight range.
+type Params struct {
+	// N is the number of communications (random families), the number of
+	// hotspot sources, or the number of pipeline stages; 0 means the
+	// source's documented default.
+	N int `json:"n,omitempty"`
+	// WMin and WMax bound the uniform weight distribution (Mb/s). For the
+	// deterministic pattern sources they give each flow an independently
+	// drawn random weight when Rate is zero.
+	WMin float64 `json:"wmin,omitempty"`
+	WMax float64 `json:"wmax,omitempty"`
+	// WBand is the relative half-width used by the "weight" sweep axis:
+	// a swept average a becomes U[a·(1−WBand), a·(1+WBand)]. 0 means the
+	// Section 6.2 default of 0.10.
+	WBand float64 `json:"wband,omitempty"`
+	// Length, when non-zero, forces every communication of the random
+	// family to that exact Manhattan length (the Section 6.3 sweeps).
+	Length int `json:"length,omitempty"`
+	// Rate is the fixed per-flow bandwidth (Mb/s) of the deterministic
+	// pattern and application sources; 0 falls back to WMin/WMax draws.
+	Rate float64 `json:"rate,omitempty"`
+}
+
+// rated reports whether the params carry any usable weight information.
+func (p Params) rated() bool { return p.Rate > 0 || p.WMax > 0 }
+
+// validateWeights checks the weight configuration shared by every source.
+func (p Params) validateWeights() error {
+	if p.Rate < 0 {
+		return fmt.Errorf("scenario: negative rate %g", p.Rate)
+	}
+	if p.WMin < 0 || p.WMax < p.WMin {
+		return fmt.Errorf("scenario: invalid weight range [%g, %g]", p.WMin, p.WMax)
+	}
+	return nil
+}
+
+// Drawer regenerates communication sets for one bound (mesh, params)
+// pair. Draw is deterministic in seed and reuses dst's storage, so the
+// pooled engine can call it once per trial without allocating; a Drawer
+// must not be shared between goroutines.
+type Drawer interface {
+	Draw(seed int64, dst comm.Set) (comm.Set, error)
+}
+
+// Source is one named way of generating communication sets. Bind
+// validates the params against the mesh — all structural errors (pattern
+// size constraints, out-of-mesh blocks, missing rates) surface here — and
+// returns a per-goroutine Drawer.
+type Source interface {
+	// Name is the canonical source name ("uniform", "tornado", ...).
+	Name() string
+	// Axes lists the sweep axes the source honors. Spec validation
+	// rejects a sweep over a parameter the source would silently ignore.
+	Axes() []string
+	Bind(m *mesh.Mesh, p Params) (Drawer, error)
+}
+
+var (
+	mu       sync.RWMutex
+	registry = make(map[string]Source)
+)
+
+// Register adds a source to the registry under its canonical name.
+// Registration is case-insensitive and panics on duplicates — two sources
+// claiming one name is a programming error that must fail at init time.
+func Register(s Source) {
+	key := strings.ToUpper(s.Name())
+	mu.Lock()
+	defer mu.Unlock()
+	if prev, ok := registry[key]; ok {
+		panic(fmt.Sprintf("scenario: duplicate registration of source %q (%T and %T)", s.Name(), prev, s))
+	}
+	registry[key] = s
+}
+
+// Lookup resolves a source name case-insensitively.
+func Lookup(name string) (Source, error) {
+	mu.RLock()
+	s, ok := registry[strings.ToUpper(name)]
+	mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("scenario: unknown source %q (have %s)", name, strings.Join(Sources(), ", "))
+	}
+	return s, nil
+}
+
+// Sources returns every registered canonical source name, sorted.
+func Sources() []string {
+	mu.RLock()
+	names := make([]string, 0, len(registry))
+	for _, s := range registry {
+		names = append(names, s.Name())
+	}
+	mu.RUnlock()
+	sort.Strings(names)
+	return names
+}
+
+// Bind is the one-shot convenience: look the source up and bind it.
+func Bind(source string, m *mesh.Mesh, p Params) (Drawer, error) {
+	s, err := Lookup(source)
+	if err != nil {
+		return nil, err
+	}
+	d, err := s.Bind(m, p)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: source %q on %v: %w", s.Name(), m, err)
+	}
+	return d, nil
+}

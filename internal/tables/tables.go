@@ -86,27 +86,67 @@ func (t *Table) String() string {
 	return b.String()
 }
 
+// CSVLine formats one CSV record with RFC 4180 quoting (cells containing
+// commas, quotes or newlines are quoted), newline-terminated. It is the
+// shared formatter of Table.WriteCSV and the streaming CSV sinks, so
+// accumulated and streamed output can never diverge byte-wise.
+func CSVLine(cells []string) string {
+	parts := make([]string, len(cells))
+	for i, c := range cells {
+		if strings.ContainsAny(c, ",\"\n") {
+			c = "\"" + strings.ReplaceAll(c, "\"", "\"\"") + "\""
+		}
+		parts[i] = c
+	}
+	return strings.Join(parts, ",") + "\n"
+}
+
 // WriteCSV writes the table as CSV (headers first). Cells containing
 // commas or quotes are quoted per RFC 4180.
 func (t *Table) WriteCSV(w io.Writer) error {
-	writeLine := func(cells []string) error {
-		parts := make([]string, len(cells))
-		for i, c := range cells {
-			if strings.ContainsAny(c, ",\"\n") {
-				c = "\"" + strings.ReplaceAll(c, "\"", "\"\"") + "\""
-			}
-			parts[i] = c
-		}
-		_, err := fmt.Fprintln(w, strings.Join(parts, ","))
-		return err
-	}
-	if err := writeLine(t.Headers); err != nil {
+	if _, err := io.WriteString(w, CSVLine(t.Headers)); err != nil {
 		return err
 	}
 	for _, row := range t.Rows {
-		if err := writeLine(row); err != nil {
+		if _, err := io.WriteString(w, CSVLine(row)); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// MarkdownRow formats one GitHub-flavored markdown table row,
+// newline-terminated. Pipes in cells are escaped.
+func MarkdownRow(cells []string) string {
+	parts := make([]string, len(cells))
+	for i, c := range cells {
+		parts[i] = strings.ReplaceAll(c, "|", "\\|")
+	}
+	return "| " + strings.Join(parts, " | ") + " |\n"
+}
+
+// MarkdownSeparator returns the header/body separator row of a markdown
+// table with n columns.
+func MarkdownSeparator(n int) string {
+	parts := make([]string, n)
+	for i := range parts {
+		parts[i] = "---"
+	}
+	return "| " + strings.Join(parts, " | ") + " |\n"
+}
+
+// WriteMarkdown writes the table as a GitHub-flavored markdown table,
+// with the title (when set) as a bold caption line above it.
+func (t *Table) WriteMarkdown(w io.Writer) error {
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "**%s**\n\n", t.Title)
+	}
+	b.WriteString(MarkdownRow(t.Headers))
+	b.WriteString(MarkdownSeparator(len(t.Headers)))
+	for _, row := range t.Rows {
+		b.WriteString(MarkdownRow(row))
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
 }

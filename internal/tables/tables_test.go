@@ -54,3 +54,24 @@ func TestWriteCSV(t *testing.T) {
 		t.Errorf("CSV = %q, want %q", got, want)
 	}
 }
+
+func TestCSVLineQuoting(t *testing.T) {
+	got := CSVLine([]string{"a", "b,c", `d"e`, "f\ng"})
+	want := "a,\"b,c\",\"d\"\"e\",\"f\ng\"\n"
+	if got != want {
+		t.Errorf("CSVLine = %q, want %q", got, want)
+	}
+}
+
+func TestWriteMarkdown(t *testing.T) {
+	tb := New("T|itle", "h1", "h2")
+	tb.AddRow("a|b", "c")
+	var buf strings.Builder
+	if err := tb.WriteMarkdown(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := "**T|itle**\n\n| h1 | h2 |\n| --- | --- |\n| a\\|b | c |\n"
+	if buf.String() != want {
+		t.Errorf("WriteMarkdown:\n%q\nwant\n%q", buf.String(), want)
+	}
+}

@@ -57,14 +57,32 @@ func Patterns() []Pattern {
 	return []Pattern{BitComplement, BitReverse, Shuffle, Tornado, Neighbor}
 }
 
+// PatternSizeError reports a bit-defined permutation pattern applied to a
+// mesh whose core count does not satisfy the pattern's size requirement.
+// It is a typed error so callers (e.g. the scenario registry) can surface
+// the constraint — "use a 2^k-core mesh" — instead of a generic failure.
+type PatternSizeError struct {
+	Pattern Pattern
+	// Cores is the offending core count.
+	Cores int
+}
+
+// Error implements error.
+func (e *PatternSizeError) Error() string {
+	return fmt.Sprintf("workload: %v requires a power-of-two core count, got %d (use a 2^k-core mesh such as 8x8 or 16x16)",
+		e.Pattern, e.Cores)
+}
+
 // Permutation appends the pattern's traffic to set: one communication of
-// the given rate per core whose image differs from itself.
+// the given rate per core whose image differs from itself. Bit-defined
+// patterns (bit-complement, bit-reverse, shuffle) return a
+// *PatternSizeError on non-power-of-two core counts.
 func Permutation(m *mesh.Mesh, set comm.Set, p Pattern, rate float64) (comm.Set, error) {
 	n := m.NumCores()
 	logN := bits.Len(uint(n)) - 1
 	if p == BitComplement || p == BitReverse || p == Shuffle {
 		if n&(n-1) != 0 {
-			return nil, fmt.Errorf("workload: %v requires a power-of-two core count, got %d", p, n)
+			return nil, &PatternSizeError{Pattern: p, Cores: n}
 		}
 	}
 	if rate <= 0 {
@@ -83,7 +101,11 @@ func Permutation(m *mesh.Mesh, set comm.Set, p Pattern, rate float64) (comm.Set,
 		case BitReverse:
 			j = int(bits.Reverse(uint(i)) >> (bits.UintSize - logN))
 		case Shuffle:
-			j = ((i << 1) | (i >> (logN - 1))) & (n - 1)
+			if logN == 0 { // 1-core mesh: the rotation is the identity
+				j = i
+			} else {
+				j = ((i << 1) | (i >> (logN - 1))) & (n - 1)
+			}
 		case Tornado:
 			shift := (m.Q()+1)/2 - 1
 			j = idx(mesh.Coord{U: src.U, V: (src.V-1+shift)%m.Q() + 1})

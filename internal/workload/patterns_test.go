@@ -1,6 +1,8 @@
 package workload
 
 import (
+	"errors"
+	"strings"
 	"testing"
 
 	"repro/internal/mesh"
@@ -137,6 +139,59 @@ func TestPatternStrings(t *testing.T) {
 	for _, p := range Patterns() {
 		if p.String() == "" {
 			t.Errorf("pattern %d has empty name", int(p))
+		}
+	}
+}
+
+// The power-of-two constraint is a typed error carrying the pattern and
+// the offending core count.
+func TestPatternSizeErrorTyped(t *testing.T) {
+	m := mesh.MustNew(6, 6)
+	for _, p := range []Pattern{BitComplement, BitReverse, Shuffle} {
+		_, err := Permutation(m, nil, p, 100)
+		if err == nil {
+			t.Fatalf("%v on 6x6 accepted", p)
+		}
+		var pse *PatternSizeError
+		if !errors.As(err, &pse) {
+			t.Fatalf("%v: error %v is not a *PatternSizeError", p, err)
+		}
+		if pse.Pattern != p || pse.Cores != 36 {
+			t.Errorf("%v: PatternSizeError = %+v", p, pse)
+		}
+		if !strings.Contains(err.Error(), "power-of-two") {
+			t.Errorf("%v: message %q does not explain the constraint", p, err)
+		}
+	}
+}
+
+// 1×N edge meshes: a power-of-two row supports every pattern; the 1-core
+// mesh must not panic (the shuffle rotation degenerates to the identity
+// and the patterns simply produce no traffic).
+func TestPatternsEdgeMeshes(t *testing.T) {
+	row := mesh.MustNew(1, 8)
+	for _, p := range Patterns() {
+		set, err := Permutation(row, nil, p, 100)
+		if err != nil {
+			t.Errorf("%v on 1x8: %v", p, err)
+			continue
+		}
+		if err := set.Validate(row); err != nil {
+			t.Errorf("%v on 1x8: %v", p, err)
+		}
+		if p != Neighbor && p != Tornado && len(set) == 0 {
+			t.Errorf("%v on 1x8 produced no traffic", p)
+		}
+	}
+	one := mesh.MustNew(1, 1)
+	for _, p := range Patterns() {
+		set, err := Permutation(one, nil, p, 100)
+		if err != nil {
+			t.Errorf("%v on 1x1: %v", p, err)
+			continue
+		}
+		if len(set) != 0 {
+			t.Errorf("%v on 1x1 produced traffic %v", p, set)
 		}
 	}
 }

@@ -1,7 +1,8 @@
 // Package workload generates the random communication sets of the
 // Section 6 simulation study, plus synthetic application traffic patterns
-// (pipelines, stencils, transposes, hotspots) used by the examples. All
-// generators are deterministic given a seed.
+// (pipelines, stencils, transposes, hotspots) used by the examples and
+// wrapped into the internal/scenario source registry. All generators are
+// deterministic given a seed.
 package workload
 
 import (
