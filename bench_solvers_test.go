@@ -18,9 +18,10 @@ import (
 )
 
 // solverBenchNames is the policy line-up tracked by the solver benchmarks:
-// the paper's six constructive heuristics plus the multi-path policies
-// cheap enough to benchmark per-commit.
-var solverBenchNames = []string{"XY", "SG", "IG", "TB", "XYI", "PR", "2MP", "4MP"}
+// the paper's six constructive heuristics, the SA refiner (whose cost the
+// compiled-objective work tracks), plus the multi-path policies cheap
+// enough to benchmark per-commit.
+var solverBenchNames = []string{"XY", "SG", "IG", "TB", "XYI", "PR", "SA", "2MP", "4MP"}
 
 // heuristicLineUp is the subset covered by the allocation-ratio guard.
 var heuristicLineUp = []string{"XY", "SG", "IG", "TB", "XYI", "PR"}

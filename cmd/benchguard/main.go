@@ -1,0 +1,115 @@
+// Command benchguard compares a freshly measured BENCH_solvers.json
+// against the committed baseline and fails when a tracked policy's ns/op
+// regressed beyond the allowed factor — the CI tripwire that keeps the
+// refinement heuristics' compiled-objective speedups from silently
+// rotting.
+//
+// Usage:
+//
+//	benchguard -baseline BENCH_solvers.json -current fresh.json -policies XYI,SA -factor 2
+//
+// By default each policy's ns/op is first normalized by the ns/op of the
+// -ref policy (XY) measured in the same file, so the guard compares how
+// much slower a policy is than the trivial baseline routing on the same
+// machine — absolute ns/op measured on different hardware (a committed
+// developer-machine baseline vs. a CI runner) would trip on machine speed
+// rather than code. Pass -ref "" to compare raw ns/op instead.
+//
+// Policies present in the list but missing from either file are an error:
+// a guard that silently skips its subjects guards nothing.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// row mirrors the per-policy entry of BENCH_solvers.json.
+type row struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+func main() {
+	var (
+		baseline = flag.String("baseline", "BENCH_solvers.json", "committed baseline JSON")
+		current  = flag.String("current", "", "freshly measured JSON to check (required)")
+		policies = flag.String("policies", "XYI,SA", "comma-separated policies to guard")
+		factor   = flag.Float64("factor", 2, "maximum allowed slowdown current/baseline")
+		ref      = flag.String("ref", "XY", "reference policy that normalizes machine speed (empty = compare raw ns/op)")
+	)
+	flag.Parse()
+	if *current == "" {
+		fmt.Fprintln(os.Stderr, "benchguard: -current is required")
+		os.Exit(2)
+	}
+	base, err := load(*baseline)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchguard:", err)
+		os.Exit(2)
+	}
+	cur, err := load(*current)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchguard:", err)
+		os.Exit(2)
+	}
+	baseRef, curRef := 1.0, 1.0
+	unit := "ns/op"
+	if *ref != "" {
+		baseRef = nsOf(base, *ref, *baseline)
+		curRef = nsOf(cur, *ref, *current)
+		unit = "x " + *ref
+	}
+	failed := false
+	for _, p := range strings.Split(*policies, ",") {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			continue
+		}
+		b := nsOf(base, p, *baseline) / baseRef
+		c := nsOf(cur, p, *current) / curRef
+		ratio := c / b
+		status := "ok"
+		if ratio > *factor {
+			status = "REGRESSED"
+			failed = true
+		}
+		fmt.Printf("%-6s baseline %14.1f %-7s current %14.1f %-7s ratio %5.2f  %s\n",
+			p, b, unit, c, unit, ratio, status)
+	}
+	if failed {
+		fmt.Fprintf(os.Stderr, "benchguard: regression beyond %gx against %s\n", *factor, *baseline)
+		os.Exit(1)
+	}
+}
+
+// nsOf returns the policy's ns/op from the file's rows, exiting loudly
+// when the policy is missing or non-positive.
+func nsOf(rows map[string]row, policy, path string) float64 {
+	r, ok := rows[policy]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "benchguard: policy %q missing from %s\n", policy, path)
+		os.Exit(2)
+	}
+	if r.NsPerOp <= 0 {
+		fmt.Fprintf(os.Stderr, "benchguard: ns/op for %q in %s is %g\n", policy, path, r.NsPerOp)
+		os.Exit(2)
+	}
+	return r.NsPerOp
+}
+
+func load(path string) (map[string]row, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rows map[string]row
+	if err := json.Unmarshal(data, &rows); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return rows, nil
+}

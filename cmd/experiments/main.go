@@ -13,9 +13,11 @@
 //	experiments -spec examples/specs/smoke.json -csv out/
 //	experiments -source tornado -mesh 16x16 -policies XY,PR,MAXMP
 //	experiments -spec big.json -csv out/ -resume   # continue an interrupted sweep
+//	experiments -exp fig7a -cpuprofile cpu.prof -memprofile mem.prof
 //
 // The canned figure ids are aliases for canned scenario specs; everything
-// runs through the same streaming sweep pipeline.
+// runs through the same streaming sweep pipeline. -cpuprofile/-memprofile
+// bracket the whole run with pprof profiles for hot-path work.
 package main
 
 import (
@@ -25,6 +27,8 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
@@ -36,37 +40,77 @@ import (
 
 func main() {
 	var (
-		exp    = flag.String("exp", "all", "canned experiment id: fig2, fig7a..fig9c, summary, thm1, lemma2, open1mp, patterns, noc, all (ignored when -spec/-source is given)")
-		trials = flag.Int("trials", 0, "trials per point (0 = spec value or default 400; the paper used 50000)")
-		seed   = flag.Int64("seed", 0, "seed offset added to each sweep's base seed")
-		csvDir = flag.String("csv", "", "directory for streamed CSV output (optional)")
-		jsonl  = flag.String("jsonl", "", "file for streamed JSON-lines output (optional, sweeps only)")
-		md     = flag.Bool("md", false, "render tables as markdown instead of aligned text")
-		pols   = flag.String("policies", "", "comma-separated policy list, applied uniformly to every experiment that evaluates policies (registered: "+strings.Join(core.Policies(), ", ")+")")
-		spec   = flag.String("spec", "", "JSON sweep spec file to run (see examples/specs/)")
-		source = flag.String("source", "", "build a sweep from flags: scenario source name (registered: "+strings.Join(scenario.Sources(), ", ")+")")
-		meshGe = flag.String("mesh", "", "mesh geometry PxQ for -source sweeps (default 8x8)")
-		axis   = flag.String("axis", "", "sweep axis for -source sweeps: n, weight, length, rate (default: single point)")
-		points = flag.String("points", "", "comma-separated x-values for -axis")
-		nComms = flag.Int("n", 0, "base communication count for -source sweeps (default 30 for the random family)")
-		wmin   = flag.Float64("wmin", 0, "minimum weight Mb/s for -source sweeps (default 100 when no -rate)")
-		wmax   = flag.Float64("wmax", 0, "maximum weight Mb/s for -source sweeps (default 1500 when no -rate)")
-		rate   = flag.Float64("rate", 0, "fixed per-flow rate Mb/s for the pattern sources")
-		length = flag.Int("length", 0, "exact Manhattan length for the random family")
-		resume = flag.Bool("resume", false, "resume an interrupted sweep from the streamed CSV in -csv (skips completed points)")
-		prog   = flag.Bool("progress", false, "report per-point progress on stderr")
+		exp     = flag.String("exp", "all", "canned experiment id: fig2, fig7a..fig9c, summary, thm1, lemma2, open1mp, patterns, noc, all (ignored when -spec/-source is given)")
+		trials  = flag.Int("trials", 0, "trials per point (0 = spec value or default 400; the paper used 50000)")
+		seed    = flag.Int64("seed", 0, "seed offset added to each sweep's base seed")
+		csvDir  = flag.String("csv", "", "directory for streamed CSV output (optional)")
+		jsonl   = flag.String("jsonl", "", "file for streamed JSON-lines output (optional, sweeps only)")
+		md      = flag.Bool("md", false, "render tables as markdown instead of aligned text")
+		pols    = flag.String("policies", "", "comma-separated policy list, applied uniformly to every experiment that evaluates policies (registered: "+strings.Join(core.Policies(), ", ")+")")
+		spec    = flag.String("spec", "", "JSON sweep spec file to run (see examples/specs/)")
+		source  = flag.String("source", "", "build a sweep from flags: scenario source name (registered: "+strings.Join(scenario.Sources(), ", ")+")")
+		meshGe  = flag.String("mesh", "", "mesh geometry PxQ for -source sweeps (default 8x8)")
+		axis    = flag.String("axis", "", "sweep axis for -source sweeps: n, weight, length, rate (default: single point)")
+		points  = flag.String("points", "", "comma-separated x-values for -axis")
+		nComms  = flag.Int("n", 0, "base communication count for -source sweeps (default 30 for the random family)")
+		wmin    = flag.Float64("wmin", 0, "minimum weight Mb/s for -source sweeps (default 100 when no -rate)")
+		wmax    = flag.Float64("wmax", 0, "maximum weight Mb/s for -source sweeps (default 1500 when no -rate)")
+		rate    = flag.Float64("rate", 0, "fixed per-flow rate Mb/s for the pattern sources")
+		length  = flag.Int("length", 0, "exact Manhattan length for the random family")
+		resume  = flag.Bool("resume", false, "resume an interrupted sweep from the streamed CSV in -csv (skips completed points)")
+		prog    = flag.Bool("progress", false, "report per-point progress on stderr")
+		cpuProf = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+		memProf = flag.String("memprofile", "", "write a pprof heap profile (post-run allocations) to this file")
 	)
 	flag.Parse()
-	if err := run(cfg{
+	os.Exit(profiledRun(*cpuProf, *memProf, cfg{
 		exp: *exp, trials: *trials, seed: *seed, csvDir: *csvDir, jsonl: *jsonl,
 		md: *md, policies: parseList(*pols), specFile: *spec, source: *source,
 		mesh: *meshGe, axis: *axis, points: *points, n: *nComms,
 		wmin: *wmin, wmax: *wmax, rate: *rate, length: *length,
 		resume: *resume, progress: *prog,
-	}); err != nil {
-		fmt.Fprintln(os.Stderr, "experiments:", err)
-		os.Exit(1)
+	}))
+}
+
+// profiledRun executes the run bracketed by the optional pprof profiles,
+// returning the process exit code — a separate frame so the profile
+// flushing defers also cover the error path (os.Exit skips defers).
+func profiledRun(cpuProf, memProf string, c cfg) int {
+	if cpuProf != "" {
+		f, err := os.Create(cpuProf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments: -cpuprofile:", err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments: -cpuprofile:", err)
+			f.Close()
+			return 1
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
 	}
+	if memProf != "" {
+		defer func() {
+			f, err := os.Create(memProf)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "experiments: -memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialize the final live set
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "experiments: -memprofile:", err)
+			}
+		}()
+	}
+	if err := run(c); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		return 1
+	}
+	return 0
 }
 
 type cfg struct {

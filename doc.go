@@ -16,6 +16,19 @@
 // workspace routes with ~zero allocations. Reuse is opt-in via
 // solve.Options.Workspace; results are identical with or without it.
 //
+// On top of pooling sits the compiled objective engine of the refinement
+// heuristics: power.Evaluator compiles a power.Model's frequency ladder
+// into flat power tables (bit-identical to the per-probe Model calls),
+// and route.LoadTracker offers an opt-in link→flow incidence index plus
+// an aggregate observer with running pseudo-power/excess totals, a
+// per-link pseudo-power cache and an exact RecomputeAggregates resync;
+// route.LoadHeap keeps the most-loaded-link order incrementally (lazy
+// stale-entry popping) in exactly the LinksByLoadDesc order. XYI, PR and
+// SA run their hot loops on these; the golden figure tests pin the
+// deterministic heuristics' routings bit-for-bit, and cmd/benchguard
+// fails CI when XYI/SA ns/op regresses beyond 2x the committed
+// BENCH_solvers.json baseline.
+//
 // Workload generation mirrors the policy registry: internal/scenario
 // holds a case-insensitive self-registering registry of workload sources
 // (the Section 6 random families, permutation patterns, application

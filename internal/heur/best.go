@@ -25,9 +25,10 @@ func (b Best) Route(in Instance) (route.Routing, error) {
 }
 
 // RouteInto implements WorkspaceRouter. Candidates share the workspace, so
-// only the winner's index is remembered while scanning; the winner is
-// re-routed at the end (heuristics are deterministic) so the returned
-// routing occupies the workspace's slots without any copying.
+// each time the lead changes the leader's paths are snapshotted into a
+// pooled path-set (a copy of a few hundred links); the snapshot is copied
+// back into the workspace's slots at the end, which costs microseconds
+// where re-running the winning heuristic costs milliseconds.
 func (b Best) RouteInto(in Instance, ws *route.Workspace) (route.Routing, error) {
 	hs := b.Heuristics
 	if hs == nil {
@@ -37,6 +38,9 @@ func (b Best) RouteInto(in Instance, ws *route.Workspace) (route.Routing, error)
 		return route.Routing{}, fmt.Errorf("heur: BEST with no candidates")
 	}
 	ws.Bind(in.Mesh)
+	sc := scratchOf(ws)
+	winner, release := sc.acquireWinner()
+	defer release()
 	bestIdx, loIdx := -1, -1
 	var bestPow, loMax float64
 	for i, h := range hs {
@@ -47,17 +51,27 @@ func (b Best) RouteInto(in Instance, ws *route.Workspace) (route.Routing, error)
 		tr := ws.Tracker()
 		tr.SetRouting(r)
 		bd, ok := tr.Evaluate(in.Model)
+		leads := false
 		if ok {
 			if bestIdx < 0 || bd.Total() < bestPow {
 				bestIdx, bestPow = i, bd.Total()
+				leads = true
 			}
-		} else if ml := tr.MaxLoad(); loIdx < 0 || ml < loMax {
+		} else if ml := tr.MaxLoad(); bestIdx < 0 && (loIdx < 0 || ml < loMax) {
 			loIdx, loMax = i, ml
+			leads = true
+		}
+		if leads {
+			winner.ResetFor(in.Comms)
+			for _, f := range r.Flows {
+				winner.SetCopy(f.Comm.ID, f.Path)
+			}
 		}
 	}
-	winner := bestIdx
-	if winner < 0 {
-		winner = loIdx
+	ps := ws.Paths()
+	ps.ResetFor(in.Comms)
+	for _, c := range in.Comms {
+		ps.SetCopy(c.ID, winner.Get(c.ID))
 	}
-	return RouteWith(hs[winner], in, ws)
+	return singlePathRouting(in, ws), nil
 }

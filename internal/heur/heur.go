@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/comm"
 	"repro/internal/mesh"
+	"repro/internal/power"
 	"repro/internal/route"
 	"repro/internal/solve"
 )
@@ -88,28 +89,74 @@ func ByName(name string) (Heuristic, error) {
 }
 
 // heurScratch is the pooled per-workspace scratch shared by the greedy
-// heuristics: the sorted processing order, frontier and hot-link buffers,
-// candidate-path double buffer, move-sequence buffers and the swap-effect
-// delta list. One instance lives in each workspace under the "heur" slot.
+// heuristics: the sorted processing order, frontier buffers, candidate-path
+// double buffer, move-sequence buffers, the dense swap-effect accumulator
+// and the hot-link heap of the rescan heuristics. One instance lives in
+// each workspace under the "heur" slot.
 type heurScratch struct {
 	ordered comm.Set
 	// frontier is the AppendFrontierLinks buffer of IG and PR.
 	frontier []mesh.Link
-	// list is the LinksByLoadDescInto buffer of XYI.
-	list []mesh.Link
-	// cand/best double-buffer candidate paths (TB, XYI, SA): the current
-	// candidate is built in cand and swapped into best when it wins.
-	cand, best route.Path
-	// moves/moves2 are the move-sequence buffers of XYI's moveOff.
-	moves, moves2 []mesh.Dir
-	deltas        []linkDelta
+	// heap is the lazy most-loaded-link heap of XYI and PR.
+	heap route.LoadHeap
+	// cand/best double-buffer candidate paths or spans (TB, XYI, SA): the
+	// current candidate is built in cand and swapped into best when it
+	// wins; full materializes XYI's winning full path.
+	cand, best, full route.Path
+	// delta/touched are the link-id-indexed accumulator of swapEffectOf
+	// (delta is always restored to zero before returning, touched lists
+	// the ids written); preLoads snapshots pre-move loads during XYI's
+	// apply step.
+	delta    []float64
+	touched  []int
+	preLoads []float64
+	// needEval flags the communications the SA hill-climb must still
+	// examine (the dirty set).
+	needEval []bool
+	// tbArena/tbPaths hold every two-bend candidate path of every
+	// communication, enumerated once per SA solve (tbPaths[pos][k] views
+	// into the flat arena).
+	tbArena route.Path
+	tbPaths [][]route.Path
 	// bestPaths is SA's best-routing-so-far snapshot.
 	bestPaths route.PathSet
+	// winners are BEST's current-leader snapshots, one per nesting depth:
+	// a candidate may itself run a nested BEST on the same workspace
+	// (SA's seed does), which must not clobber the outer leader.
+	winners     []*route.PathSet
+	winnerDepth int
+}
+
+// acquireWinner hands out the leader snapshot slot of the current BEST
+// nesting depth and descends; the returned release must be called (it is
+// deferred) to ascend again.
+func (sc *heurScratch) acquireWinner() (winner *route.PathSet, release func()) {
+	if sc.winnerDepth == len(sc.winners) {
+		sc.winners = append(sc.winners, new(route.PathSet))
+	}
+	winner = sc.winners[sc.winnerDepth]
+	sc.winnerDepth++
+	return winner, func() { sc.winnerDepth-- }
 }
 
 // scratchOf returns the workspace's pooled heuristic scratch.
 func scratchOf(ws *route.Workspace) *heurScratch {
 	return ws.Scratch("heur", func() any { return new(heurScratch) }).(*heurScratch)
+}
+
+// evalSlot caches the compiled power evaluator of the workspace's current
+// model under the "power.eval" scratch key.
+type evalSlot struct{ ev *power.Evaluator }
+
+// evaluatorFor returns the workspace's compiled evaluator for the model,
+// recompiling only when the model changed since the last solve — repeated
+// trials on one platform (the experiment engine's shape) compile once.
+func evaluatorFor(ws *route.Workspace, m power.Model) *power.Evaluator {
+	s := ws.Scratch("power.eval", func() any { return new(evalSlot) }).(*evalSlot)
+	if s.ev == nil || !s.ev.CompiledFrom(m) {
+		s.ev = power.Compile(m)
+	}
+	return s.ev
 }
 
 // orderedInto sorts the set into the scratch's reusable order buffer.

@@ -3,6 +3,7 @@ package heur
 import (
 	"repro/internal/comm"
 	"repro/internal/mesh"
+	"repro/internal/power"
 	"repro/internal/route"
 )
 
@@ -33,13 +34,14 @@ func (h IG) RouteInto(in Instance, ws *route.Workspace) (route.Routing, error) {
 	ps := prepare(in, ws)
 	loads := ws.Tracker()
 	sc := scratchOf(ws)
+	ev := evaluatorFor(ws, in.Model)
 	for _, c := range in.Comms {
 		addIdealShare(in.Mesh, loads, sc, c, +1)
 	}
 
 	for _, c := range sc.orderedInto(in.Comms, h.Order) {
 		addIdealShare(in.Mesh, loads, sc, c, -1)
-		p := igPathInto(ps.Acquire(c.ID, c.Length()), in, loads, sc, c)
+		p := igPathInto(ps.Acquire(c.ID, c.Length()), in, loads, sc, ev, c)
 		loads.AddPath(p, c.Rate)
 		ps.Set(c.ID, p)
 	}
@@ -61,10 +63,10 @@ func addIdealShare(m *mesh.Mesh, loads *route.LoadTracker, sc *heurScratch, c co
 
 // igPathInto builds the single path for c using the power-to-go lower
 // bound, appending onto p.
-func igPathInto(p route.Path, in Instance, loads *route.LoadTracker, sc *heurScratch, c comm.Comm) route.Path {
+func igPathInto(p route.Path, in Instance, loads *route.LoadTracker, sc *heurScratch, ev *power.Evaluator, c comm.Comm) route.Path {
 	return greedyPathInto(p, c, func(cand mesh.Link, next mesh.Coord) float64 {
 		// Power of the candidate link with c on it…
-		bound := loads.LinkPowerWith(in.Model, cand, c.Rate)
+		bound := loads.LinkPowerWithEv(ev, cand, c.Rate)
 		// …plus, for each remaining diagonal between next and the sink,
 		// the power of the least-loaded link c could still take.
 		rest := comm.Comm{ID: c.ID, Src: next, Dst: c.Dst, Rate: c.Rate}
@@ -77,7 +79,7 @@ func igPathInto(p route.Path, in Instance, loads *route.LoadTracker, sc *heurScr
 				}
 			}
 			if best >= 0 {
-				p, ok := in.Model.LinkPowerOK(best + c.Rate)
+				p, ok := ev.LinkPowerOK(best + c.Rate)
 				if !ok {
 					p = inf
 				}

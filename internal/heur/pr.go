@@ -64,7 +64,16 @@ type prScratch struct {
 	mark    []int
 	markGen int
 	order   []int
-	list    []mesh.Link
+	// touched/preLoads record the pre-removal DAG of the removing
+	// communication — the superset of links whose load the removal can
+	// change — and their loads, so the caller re-pushes only links whose
+	// load actually moved into the hot-link heap.
+	touched  []int
+	preLoads []float64
+	// linkFrom/linkTo are the dense coordinate indices of each link id's
+	// endpoints (mesh.CoordIndex), precomputed so the reachability sweeps
+	// skip the LinkByID reconstruction per probe.
+	linkFrom, linkTo []int32
 	// fwd and bwd are the per-level reachability bitsets of remove; the
 	// first two fwd entries double as the ping-pong frontier of reachable.
 	fwd, bwd []route.CoordSet
@@ -123,6 +132,13 @@ func (h PR) RouteInto(in Instance, ws *route.Workspace) (route.Routing, error) {
 		sc.commsByLink = make([][]int, m.LinkIDSpace())
 		sc.mark = make([]int, m.LinkIDSpace())
 		sc.markGen = 0
+		sc.linkFrom = make([]int32, m.LinkIDSpace())
+		sc.linkTo = make([]int32, m.LinkIDSpace())
+		for _, l := range m.Links() {
+			id := m.LinkID(l)
+			sc.linkFrom[id] = int32(m.CoordIndex(l.From))
+			sc.linkTo[id] = int32(m.CoordIndex(l.To))
+		}
 	}
 	for id := range sc.commsByLink {
 		sc.commsByLink[id] = sc.commsByLink[id][:0]
@@ -148,24 +164,37 @@ func (h PR) RouteInto(in Instance, ws *route.Workspace) (route.Routing, error) {
 			st.initSizes = append(st.initSizes, len(step))
 		}
 		st.refreshMulti()
-		st.addShares(m, loads, +1)
+		st.addShares(loads, +1)
 	}
 
+	// Link removal order: always attack the most-loaded link first. The
+	// lazy heap replaces the historical full re-sort per removal — links
+	// that yield no removal are set aside until the next applied removal,
+	// links whose shares moved are re-pushed — and pops in exactly the
+	// LinksByLoadDesc order, so the removal sequence is unchanged.
+	hp := &hsc.heap
+	hp.Init(loads)
 	for anyMulti(sc.states) {
-		progressed := false
-		sc.list = loads.LinksByLoadDescInto(sc.list)
-		for _, l := range sc.list {
-			id := m.LinkID(l)
-			if removeFromHeaviest(m, loads, sc, id) {
-				progressed = true
-				break
-			}
-		}
-		if !progressed {
+		id, ok := hp.Pop()
+		if !ok {
 			// Defensive: cannot happen, since any multi-path
 			// communication always has a removable loaded link.
 			break
 		}
+		if !removeFromHeaviest(m, loads, sc, id) {
+			hp.SetAside(id)
+			continue
+		}
+		for k, lid := range sc.touched {
+			if loads.LoadID(lid) != sc.preLoads[k] {
+				hp.Push(lid)
+			}
+		}
+		// The popped link was removed from the heap: re-push it explicitly
+		// in case its load round-tripped bit-exact through the share
+		// redistribution.
+		hp.Push(id)
+		hp.Reactivate()
 	}
 
 	for i := range sc.states {
@@ -207,21 +236,34 @@ func removeFromHeaviest(m *mesh.Mesh, loads *route.LoadTracker, sc *prScratch, i
 		if !st.canRemove(m, sc, id) {
 			continue
 		}
-		st.addShares(m, loads, -1)
+		// Every load change of this removal hits links of the pre-removal
+		// DAG (the post-removal DAG is a subset): record them, with their
+		// loads, for the caller's heap re-push.
+		sc.touched = sc.touched[:0]
+		sc.preLoads = sc.preLoads[:0]
+		for _, step := range st.steps {
+			for _, lid := range step {
+				sc.touched = append(sc.touched, lid)
+				sc.preLoads = append(sc.preLoads, loads.LoadID(lid))
+			}
+		}
+		st.addShares(loads, -1)
 		st.remove(m, sc, id)
-		st.addShares(m, loads, +1)
+		st.addShares(loads, +1)
 		// Rebuild the link→comm index entries for this communication:
-		// mark the surviving links, then drop i from every other list.
+		// mark the surviving links, then drop i from the pre-removal
+		// links that no longer carry it (a subset of touched).
 		sc.markGen++
 		for _, step := range st.steps {
 			for _, lid := range step {
 				sc.mark[lid] = sc.markGen
 			}
 		}
-		for lid, list := range sc.commsByLink {
+		for _, lid := range sc.touched {
 			if sc.mark[lid] == sc.markGen {
 				continue
 			}
+			list := sc.commsByLink[lid]
 			for j, ci := range list {
 				if ci == i {
 					sc.commsByLink[lid] = append(list[:j], list[j+1:]...)
@@ -237,7 +279,7 @@ func removeFromHeaviest(m *mesh.Mesh, loads *route.LoadTracker, sc *prScratch, i
 // addShares adds (sign=+1) or removes (sign=-1) the communication's
 // virtual loads: rate/|steps[t]| on each allowed link of step t, or
 // rate/initSizes[t] under the StaticShares ablation.
-func (st *prState) addShares(m *mesh.Mesh, loads *route.LoadTracker, sign float64) {
+func (st *prState) addShares(loads *route.LoadTracker, sign float64) {
 	for t, step := range st.steps {
 		denom := float64(len(step))
 		if st.static {
@@ -245,7 +287,7 @@ func (st *prState) addShares(m *mesh.Mesh, loads *route.LoadTracker, sign float6
 		}
 		share := sign * st.c.Rate / denom
 		for _, id := range step {
-			loads.Add(m.LinkByID(id), share)
+			loads.AddID(id, share)
 		}
 	}
 }
@@ -262,19 +304,10 @@ func (st *prState) refreshMulti() {
 }
 
 // canRemove reports whether deleting link id keeps at least one src→dst
-// path in the communication's DAG.
+// path in the communication's DAG. Callers reach it through the
+// link→comm incidence index, which lists exactly the communications whose
+// DAG contains the link, so presence needs no re-scan.
 func (st *prState) canRemove(m *mesh.Mesh, sc *prScratch, id int) bool {
-	present := false
-	for _, step := range st.steps {
-		for _, lid := range step {
-			if lid == id {
-				present = true
-			}
-		}
-	}
-	if !present {
-		return false
-	}
 	return st.reachable(m, sc, id)
 }
 
@@ -292,9 +325,8 @@ func (st *prState) reachable(m *mesh.Mesh, sc *prScratch, skip int) bool {
 			if lid == skip {
 				continue
 			}
-			l := m.LinkByID(lid)
-			if frontier.Has(l.From) {
-				next.Add(l.To)
+			if frontier.HasIdx(int(sc.linkFrom[lid])) {
+				next.AddIdx(int(sc.linkTo[lid]))
 			}
 		}
 		if next.Len() == 0 {
@@ -317,9 +349,8 @@ func (st *prState) remove(m *mesh.Mesh, sc *prScratch, id int) {
 			if lid == id {
 				continue
 			}
-			l := m.LinkByID(lid)
-			if sc.fwd[t].Has(l.From) {
-				sc.fwd[t+1].Add(l.To)
+			if sc.fwd[t].HasIdx(int(sc.linkFrom[lid])) {
+				sc.fwd[t+1].AddIdx(int(sc.linkTo[lid]))
 			}
 		}
 	}
@@ -331,9 +362,8 @@ func (st *prState) remove(m *mesh.Mesh, sc *prScratch, id int) {
 			if lid == id {
 				continue
 			}
-			l := m.LinkByID(lid)
-			if sc.bwd[t+1].Has(l.To) {
-				sc.bwd[t].Add(l.From)
+			if sc.bwd[t+1].HasIdx(int(sc.linkTo[lid])) {
+				sc.bwd[t].AddIdx(int(sc.linkFrom[lid]))
 			}
 		}
 	}
@@ -343,8 +373,7 @@ func (st *prState) remove(m *mesh.Mesh, sc *prScratch, id int) {
 			if lid == id {
 				continue
 			}
-			l := m.LinkByID(lid)
-			if sc.fwd[t].Has(l.From) && sc.bwd[t+1].Has(l.To) {
+			if sc.fwd[t].HasIdx(int(sc.linkFrom[lid])) && sc.bwd[t+1].HasIdx(int(sc.linkTo[lid])) {
 				kept = append(kept, lid)
 			}
 		}

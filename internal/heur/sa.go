@@ -3,7 +3,9 @@ package heur
 import (
 	"math"
 	"math/rand"
+	"slices"
 
+	"repro/internal/mesh"
 	"repro/internal/route"
 )
 
@@ -16,6 +18,13 @@ import (
 // power (continuous extension past the top frequency) plus a steep
 // per-unit overload penalty, so the search simultaneously repairs
 // feasibility and reduces power. Deterministic for a fixed Seed.
+//
+// The energy account runs on the tracker's aggregate observer: the
+// running pseudo-power and excess totals are maintained by the tracker on
+// every load change (an O(1) read per accepted move), resynced to an
+// exact fresh sum whenever a new best is recorded and again when the best
+// configuration is restored — unchecked, the accumulated float drift of
+// thousands of accepted moves could mis-rank states near ties.
 type SA struct {
 	// Seed drives the perturbation stream (default 1).
 	Seed int64
@@ -61,25 +70,44 @@ func (h SA) RouteInto(in Instance, ws *route.Workspace) (route.Routing, error) {
 		return singlePathRouting(in, ws), nil
 	}
 	sc := scratchOf(ws)
+	ev := evaluatorFor(ws, in.Model)
 
 	// Overload penalty per unit of excess bandwidth: far above any
 	// marginal dynamic saving, so feasibility repairs dominate the
 	// scalar annealing acceptance.
 	penalty := 10 * (in.Model.Pleak + in.Model.Dynamic(in.Model.MaxBW)) / in.Model.MaxBW
 
-	moveEffect := func(old, new route.Path, rate float64) swapEffect {
-		return swapEffectOf(in.Mesh, in.Model, loads, old, new, rate, &sc.deltas)
-	}
-	state := func() swapEffect {
-		var e swapEffect
-		for _, load := range loads.LoadsView() {
-			e.power += pseudoLinkPower(in.Model, load)
-			e.excess += overload(in.Model, load)
+	// Candidate and incumbent share their endpoints, so their common
+	// prefix and suffix links carry a net delta of exactly zero: trimming
+	// them before evaluation (and application) leaves the effect — and
+	// the accepted loads — unchanged while the hot loop touches only the
+	// differing middle.
+	trim := func(old, new route.Path) (a, bo, bn int) {
+		bo, bn = len(old), len(new)
+		n := min(bo, bn)
+		for a < n && old[a] == new[a] {
+			a++
 		}
-		return e
+		for bo > a && bn > a && old[bo-1] == new[bn-1] {
+			bo--
+			bn--
+		}
+		return a, bo, bn
+	}
+	moveEffect := func(old, new route.Path, rate float64) swapEffect {
+		a, bo, bn := trim(old, new)
+		return swapEffectOf(in.Mesh, ev, loads, old[a:bo], new[a:bn], rate, sc)
+	}
+	applyMove := func(old, new route.Path, rate float64) {
+		a, bo, bn := trim(old, new)
+		loads.AddPath(old[a:bo], -rate)
+		loads.AddPath(new[a:bn], rate)
 	}
 
-	cur := state()
+	// The tracker maintains the objective totals from here on.
+	loads.Observe(ev)
+	var cur swapEffect
+	cur.power, cur.excess = loads.Aggregates()
 	best := cur
 	snapshotPaths(&sc.bestPaths, ps, in)
 
@@ -88,63 +116,149 @@ func (h SA) RouteInto(in Instance, ws *route.Workspace) (route.Routing, error) {
 	temp := in.Model.Pleak + in.Model.Dynamic(in.Model.MaxBW)
 	cooling := math.Pow(1e-4, 1.0/float64(iters)) // temp decays to 1e-4×
 	comms := in.Comms
+
+	// Enumerate every two-bend candidate of every communication once into
+	// the pooled arena: the anneal loop draws ~300 candidates per
+	// communication, so per-draw path construction amortizes away.
+	total := 0
+	for _, c := range comms {
+		total += twoBendCountOf(c.Src, c.Dst) * c.Length()
+	}
+	arena := sc.tbArena[:0]
+	if cap(arena) < total {
+		arena = make(route.Path, 0, total)
+	}
+	if cap(sc.tbPaths) < len(comms) {
+		sc.tbPaths = make([][]route.Path, len(comms))
+	}
+	tb := sc.tbPaths[:len(comms)]
+	for pos, c := range comms {
+		n := twoBendCountOf(c.Src, c.Dst)
+		if cap(tb[pos]) < n {
+			tb[pos] = make([]route.Path, n)
+		}
+		tb[pos] = tb[pos][:n]
+		for k := 0; k < n; k++ {
+			s := len(arena)
+			arena = appendNthTwoBend(arena, c.Src, c.Dst, k)
+			tb[pos][k] = arena[s:len(arena):len(arena)]
+		}
+	}
+	sc.tbArena = arena
+	sc.tbPaths = tb
+
 	for it := 0; it < iters; it++ {
 		temp *= cooling
-		c := comms[rng.Intn(len(comms))]
-		k := rng.Intn(twoBendCountOf(c.Src, c.Dst))
-		sc.cand = appendNthTwoBend(sc.cand[:0], c.Src, c.Dst, k)
-		next := sc.cand
+		pos := rng.Intn(len(comms))
+		c := comms[pos]
+		next := tb[pos][rng.Intn(len(tb[pos]))]
 		old := ps.Get(c.ID)
-		if samePath(old, next) {
+		if slices.Equal(old, next) {
 			continue
 		}
 		eff := moveEffect(old, next, c.Rate)
 		delta := eff.power + penalty*eff.excess
-		if delta <= 0 || rng.Float64() < math.Exp(-delta/temp) {
-			loads.AddPath(old, -c.Rate)
-			loads.AddPath(next, c.Rate)
+		accept := delta <= 0
+		if !accept {
+			// Draw unconditionally so the perturbation stream matches the
+			// historical one draw per uphill proposal; moves more than 40
+			// temperatures uphill (acceptance probability < 4e-18) skip
+			// only the exponential.
+			r := rng.Float64()
+			accept = delta < 40*temp && r < math.Exp(-delta/temp)
+		}
+		if accept {
+			applyMove(old, next, c.Rate)
 			ps.SetCopy(c.ID, next)
-			cur.power += eff.power
-			cur.excess += eff.excess
+			cur.power, cur.excess = loads.Aggregates()
 			if cur.betterThan(best) {
-				best = cur
-				snapshotPaths(&sc.bestPaths, ps, in)
+				// Candidate best: resync the running totals and re-compare
+				// before recording, so drift in the incremental sums can
+				// neither enshrine a not-actually-better state nor become
+				// the bar later states are compared against. best always
+				// holds exact totals (the initial state comes from
+				// Observe's fresh sum), keeping the never-worse-than-seed
+				// floor intact.
+				cur.power, cur.excess = loads.RecomputeAggregates()
+				if cur.betterThan(best) {
+					best = cur
+					snapshotPaths(&sc.bestPaths, ps, in)
+				}
 			}
 		}
 	}
 
-	// Restore the best configuration seen, then hill-climb: only strict
-	// lexicographic improvements, so the result is never worse than the
-	// seed routing and is locally optimal over two-bend moves.
+	// Restore the best configuration seen and resync the energy account
+	// from a fresh exact sum, then hill-climb: only strict lexicographic
+	// improvements, so the result is never worse than the seed routing
+	// and is locally optimal over two-bend moves.
 	for _, c := range comms {
 		ps.SetCopy(c.ID, sc.bestPaths.Get(c.ID))
 	}
-	loads.Reset()
+	loads.Reset() // detaches the observer
 	for _, c := range comms {
 		loads.AddPath(ps.Get(c.ID), c.Rate)
 	}
-	improved := true
-	for improved {
-		improved = false
-		for _, c := range comms {
+	loads.Observe(ev) // re-attach: exact totals of the restored routing
+
+	// The sweep revisits only communications whose evaluation could have
+	// changed: every load a two-bend candidate of c can touch lies inside
+	// c's bounding box (Manhattan paths never leave it), so a
+	// communication stays clean until some applied move changes a load in
+	// its box. The first sweep examines everything.
+	if cap(sc.needEval) < len(comms) {
+		sc.needEval = make([]bool, len(comms))
+	}
+	sc.needEval = sc.needEval[:len(comms)]
+	for i := range sc.needEval {
+		sc.needEval[i] = true
+	}
+	pending := len(comms)
+	markDirty := func(old, new route.Path) {
+		for pos, c2 := range comms {
+			if sc.needEval[pos] {
+				continue
+			}
+			box := mesh.BoxOf(c2.Src, c2.Dst)
+			if pathTouchesBox(box, old) || pathTouchesBox(box, new) {
+				sc.needEval[pos] = true
+				pending++
+			}
+		}
+	}
+	for pending > 0 {
+		for pos, c := range comms {
+			if !sc.needEval[pos] {
+				continue
+			}
+			sc.needEval[pos] = false
+			pending--
 			old := ps.Get(c.ID)
-			for k, n := 0, twoBendCountOf(c.Src, c.Dst); k < n; k++ {
-				sc.cand = appendNthTwoBend(sc.cand[:0], c.Src, c.Dst, k)
-				cand := sc.cand
-				if samePath(old, cand) {
+			for _, cand := range tb[pos] {
+				if slices.Equal(old, cand) {
 					continue
 				}
 				if eff := moveEffect(old, cand, c.Rate); eff.improves() {
-					loads.AddPath(old, -c.Rate)
-					loads.AddPath(cand, c.Rate)
+					applyMove(old, cand, c.Rate)
+					markDirty(old, cand)
 					ps.SetCopy(c.ID, cand)
 					old = ps.Get(c.ID)
-					improved = true
 				}
 			}
 		}
 	}
 	return singlePathRouting(in, ws), nil
+}
+
+// pathTouchesBox reports whether any link of the path lies inside the box
+// (both endpoints contained).
+func pathTouchesBox(box mesh.Box, p route.Path) bool {
+	for _, l := range p {
+		if box.Contains(l.From) && box.Contains(l.To) {
+			return true
+		}
+	}
+	return false
 }
 
 // snapshotPaths copies the current path of every communication into dst.
@@ -153,18 +267,6 @@ func snapshotPaths(dst *route.PathSet, src *route.PathSet, in Instance) {
 	for _, c := range in.Comms {
 		dst.SetCopy(c.ID, src.Get(c.ID))
 	}
-}
-
-func samePath(a, b route.Path) bool {
-	if len(a) != len(b) {
-		return false
-	}
-	for i := range a {
-		if a[i] != b[i] {
-			return false
-		}
-	}
-	return true
 }
 
 // guard: SA must keep satisfying the Heuristic contract.

@@ -31,13 +31,14 @@ func (h TB) RouteInto(in Instance, ws *route.Workspace) (route.Routing, error) {
 	ps := prepare(in, ws)
 	loads := ws.Tracker()
 	sc := scratchOf(ws)
+	ev := evaluatorFor(ws, in.Model)
 	for _, c := range sc.orderedInto(in.Comms, h.Order) {
 		bestDelta := inf
 		for k, n := 0, twoBendCountOf(c.Src, c.Dst); k < n; k++ {
 			sc.cand = appendNthTwoBend(sc.cand[:0], c.Src, c.Dst, k)
 			delta := 0.0
 			for _, l := range sc.cand {
-				delta += loads.DeltaPower(in.Model, l, c.Rate)
+				delta += loads.DeltaPowerEv(ev, l, c.Rate)
 			}
 			if k == 0 || delta < bestDelta {
 				sc.cand, sc.best = sc.best, sc.cand

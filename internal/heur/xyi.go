@@ -1,8 +1,6 @@
 package heur
 
 import (
-	"slices"
-
 	"repro/internal/mesh"
 	"repro/internal/power"
 	"repro/internal/route"
@@ -16,12 +14,21 @@ import (
 // toward the sink — and the modification that lowers power the most is
 // kept. When no modification on a link improves power, the link is set
 // aside and the next most-loaded link is tried; after every applied
-// improvement the link list is rebuilt and re-sorted.
+// improvement every link is back in play, starting from the new
+// most-loaded one.
 //
 // Improvement decisions use a pseudo-power that extends the model's curve
 // continuously beyond the top frequency, so the heuristic can climb down
 // from the (frequently infeasible) XY start even while some links are
 // overloaded; the final routing is still judged by the strict model.
+//
+// The hot loop runs on the compiled objective engine: candidate scans
+// visit only the flows crossing the attacked link (the tracker's
+// incidence index), link power probes hit the evaluator's precomputed
+// frequency table, and the most-loaded link comes from a lazy heap
+// instead of a full re-sort after every applied move. Routings are
+// bit-for-bit those of the straightforward scan-all-and-resort
+// formulation (pinned by the golden figure tests).
 type XYI struct{}
 
 // Name returns "XYI".
@@ -37,50 +44,103 @@ func (XYI) RouteInto(in Instance, ws *route.Workspace) (route.Routing, error) {
 	ps := prepare(in, ws)
 	loads := ws.Tracker()
 	sc := scratchOf(ws)
-	for _, c := range in.Comms {
+	ev := evaluatorFor(ws, in.Model)
+	loads.EnableIncidence()
+	for pos, c := range in.Comms {
 		p := route.AppendXY(ps.Acquire(c.ID, c.Length()), c.Src, c.Dst)
 		ps.Set(c.ID, p)
-		loads.AddPath(p, c.Rate)
+		loads.IncludePath(pos, p, c.Rate)
 	}
+	// Observe after seeding: the per-link pseudo-power cache turns every
+	// candidate's "before" probe into an array read.
+	loads.Observe(ev)
 
-	sc.list = loads.LinksByLoadDescInto(sc.list)
-	list := sc.list
-	for len(list) > 0 {
-		l := list[0]
-		bestID := -1
-		var bestRate float64
+	h := &sc.heap
+	h.Init(loads)
+	for {
+		lid, ok := h.Pop()
+		if !ok {
+			break
+		}
+		l := in.Mesh.LinkByID(lid)
+		bestPos, bestLo, bestHi := -1, 0, 0
 		var best swapEffect
-		for _, c := range in.Comms {
+		// Only flows currently crossing l can be moved off it; the
+		// incidence index lists them in instance order, so the scan is
+		// the full per-communication scan with the misses skipped.
+		for _, pos := range loads.MembersOn(lid) {
+			c := in.Comms[pos]
 			p := ps.Get(c.ID)
-			np, ok := sc.moveOff(p, l)
+			span, lo, hi, ok := sc.moveOff(p, l)
 			if !ok {
 				continue
 			}
-			e := swapEffectOf(in.Mesh, in.Model, loads, p, np, c.Rate, &sc.deltas)
-			if e.improves() && (bestID < 0 || e.betterThan(best)) {
-				bestID, bestRate, best = c.ID, c.Rate, e
-				// Keep the winning candidate in sc.best; the next moveOff
+			// Links outside [lo,hi] are identical in the old and new
+			// paths (their net delta is exactly zero), so the effect of
+			// the full-path swap equals the effect of the span swap.
+			e := swapEffectOf(in.Mesh, ev, loads, p[lo:hi+1], span, c.Rate, sc)
+			if e.improves() && (bestPos < 0 || e.betterThan(best)) {
+				bestPos, bestLo, bestHi, best = int(pos), lo, hi, e
+				// Keep the winning span in sc.best; the next moveOff
 				// builds into the other buffer.
 				sc.cand, sc.best = sc.best, sc.cand
 			}
 		}
-		if bestID < 0 {
-			list = list[1:]
+		if bestPos < 0 {
+			h.SetAside(lid)
 			continue
 		}
-		loads.AddPath(ps.Get(bestID), -bestRate)
-		loads.AddPath(sc.best, bestRate)
-		ps.SetCopy(bestID, sc.best)
-		sc.list = loads.LinksByLoadDescInto(sc.list)
-		list = sc.list
+		c := in.Comms[bestPos]
+		old := ps.Get(c.ID)
+		full := append(sc.full[:0], old[:bestLo]...)
+		full = append(full, sc.best...)
+		full = append(full, old[bestHi+1:]...)
+		sc.full = full
+		// Snapshot the pre-move loads of every affected link, so only
+		// links whose load actually changed re-enter the heap (the
+		// shared prefix/suffix usually round-trips to the same bits and
+		// its heap entries stay exact).
+		touched := sc.touched[:0]
+		for _, pl := range old {
+			id := in.Mesh.LinkIDFast(pl)
+			if sc.delta[id] == 0 {
+				sc.delta[id] = 1
+				touched = append(touched, id)
+			}
+		}
+		for _, pl := range full {
+			id := in.Mesh.LinkIDFast(pl)
+			if sc.delta[id] == 0 {
+				sc.delta[id] = 1
+				touched = append(touched, id)
+			}
+		}
+		sc.touched = touched
+		preLoads := sc.preLoads[:0]
+		for _, id := range touched {
+			preLoads = append(preLoads, loads.LoadID(id))
+		}
+		sc.preLoads = preLoads
+		loads.ExcludePath(bestPos, old, c.Rate)
+		loads.IncludePath(bestPos, full, c.Rate)
+		for k, id := range touched {
+			sc.delta[id] = 0
+			if loads.LoadID(id) != preLoads[k] {
+				h.Push(id)
+			}
+		}
+		// The attacked link was popped, so it has no live entry left:
+		// re-push it explicitly even if its load round-tripped bit-exact.
+		h.Push(lid)
+		h.Reactivate()
+		ps.SetCopy(c.ID, full)
 	}
 	return singlePathRouting(in, ws), nil
 }
 
 // moveOff applies the Section 5.4 local modification to a Manhattan path
-// so that it avoids link l, building the modified path into the scratch's
-// candidate buffer and returning ok=false when the Manhattan constraint
-// forbids the move:
+// so that it avoids link l, returning ok=false when the Manhattan
+// constraint forbids the move:
 //
 //   - l vertical: the path must enter l.To horizontally from the source
 //     side, so the last horizontal move before the hop over l is postponed
@@ -89,7 +149,14 @@ func (XYI) RouteInto(in Instance, ws *route.Workspace) (route.Routing, error) {
 //   - l horizontal: the path must leave l.From vertically toward the sink,
 //     so the first vertical move after the hop is advanced to just before
 //     it (the horizontal sub-row shifts one row toward the sink).
-func (sc *heurScratch) moveOff(p route.Path, l mesh.Link) (route.Path, bool) {
+//
+// Only the modified span is built (into the scratch's candidate buffer):
+// span holds the new links at positions lo..hi, and every link outside the
+// span is unchanged — the permuted moves displace the same totals, so the
+// coordinates from hi+1 on coincide with the old path's. Candidate
+// evaluation therefore touches O(span) links instead of O(path), and only
+// an applied winner pays for full-path materialization.
+func (sc *heurScratch) moveOff(p route.Path, l mesh.Link) (span route.Path, lo, hi int, ok bool) {
 	t := -1
 	for i, pl := range p {
 		if pl == l {
@@ -98,70 +165,58 @@ func (sc *heurScratch) moveOff(p route.Path, l mesh.Link) (route.Path, bool) {
 		}
 	}
 	if t < 0 {
-		return nil, false
+		return nil, 0, 0, false
 	}
-	moves := sc.moves[:0]
-	for _, pl := range p {
-		moves = append(moves, pl.Dir())
-	}
-	sc.moves = moves
-	vertical := l.Dir() == mesh.South || l.Dir() == mesh.North
-	next := sc.moves2[:0]
-	if vertical {
+	out := sc.cand[:0]
+	if l.From.V == l.To.V {
+		// Vertical hop: find the last horizontal move before it.
 		j := -1
 		for i := t - 1; i >= 0; i-- {
-			if moves[i] == mesh.East || moves[i] == mesh.West {
+			if p[i].From.U == p[i].To.U {
 				j = i
 				break
 			}
 		}
 		if j < 0 {
-			return nil, false
+			return nil, 0, 0, false
 		}
-		next = append(next, moves[:j]...)
-		next = append(next, moves[j+1:t+1]...)
-		next = append(next, moves[j])
-		next = append(next, moves[t+1:]...)
-	} else {
-		j := -1
-		for i := t + 1; i < len(moves); i++ {
-			if moves[i] == mesh.South || moves[i] == mesh.North {
-				j = i
-				break
-			}
+		// New span: the vertical run p[j+1..t] shifted onto the source-side
+		// column, then the postponed horizontal move.
+		cur := p[j].From
+		for i := j + 1; i <= t; i++ {
+			nc := mesh.Coord{U: cur.U + p[i].To.U - p[i].From.U, V: cur.V}
+			out = append(out, mesh.Link{From: cur, To: nc})
+			cur = nc
 		}
-		if j < 0 {
-			return nil, false
-		}
-		next = append(next, moves[:t]...)
-		next = append(next, moves[j])
-		next = append(next, moves[t:j]...)
-		next = append(next, moves[j+1:]...)
+		nc := mesh.Coord{U: cur.U, V: cur.V + p[j].To.V - p[j].From.V}
+		out = append(out, mesh.Link{From: cur, To: nc})
+		sc.cand = out
+		return out, j, t, true
 	}
-	sc.moves2 = next
-	out := sc.cand[:0]
-	cur := p[0].From
-	for _, d := range next {
-		nc := cur.Step(d)
+	// Horizontal hop: find the first vertical move after it.
+	j := -1
+	for i := t + 1; i < len(p); i++ {
+		if p[i].From.V == p[i].To.V {
+			j = i
+			break
+		}
+	}
+	if j < 0 {
+		return nil, 0, 0, false
+	}
+	// New span: the advanced vertical move, then the horizontal run
+	// p[t..j-1] shifted one row toward the sink.
+	cur := p[t].From
+	nc := mesh.Coord{U: cur.U + p[j].To.U - p[j].From.U, V: cur.V}
+	out = append(out, mesh.Link{From: cur, To: nc})
+	cur = nc
+	for i := t; i < j; i++ {
+		nc := mesh.Coord{U: cur.U, V: cur.V + p[i].To.V - p[i].From.V}
 		out = append(out, mesh.Link{From: cur, To: nc})
 		cur = nc
 	}
 	sc.cand = out
-	return out, true
-}
-
-// pseudoLinkPower extends the model's link power continuously past the top
-// frequency so overloaded links remain comparable: an overloaded link is
-// charged Pleak + P0·(load/unit)^α as if a matching frequency existed.
-func pseudoLinkPower(model power.Model, load float64) float64 {
-	if load <= 0 {
-		return 0
-	}
-	f, ok := model.QuantizeOK(load)
-	if !ok {
-		f = load
-	}
-	return model.Pleak + model.Dynamic(f)
+	return out, t, j, true
 }
 
 // swapEffect is the consequence of replacing one path with another:
@@ -195,50 +250,66 @@ func (e swapEffect) betterThan(o swapEffect) bool {
 
 // swapEffectOf computes the effect of rerouting a flow of the given rate
 // from path old to path new under the current loads, accumulating the
-// per-link deltas in the caller's reusable buffer. Deltas are summed in
-// ascending link-id order: float addition is not associative, so a
-// map-ordered sum would make near-tie accept decisions depend on map
-// iteration order and the "deterministic heuristics" guarantee would
-// silently break. (A link appears at most once per Manhattan path, so
-// within one id the sum has at most two terms and commutativity makes the
-// tie order among equal ids irrelevant.)
-func swapEffectOf(m *mesh.Mesh, model power.Model, loads *route.LoadTracker,
-	old, new route.Path, rate float64, buf *[]linkDelta) swapEffect {
+// per-link deltas in the scratch's dense link-indexed buffer. Deltas are
+// summed in ascending link-id order: float addition is not associative,
+// so an order depending on path direction (or, historically, map
+// iteration) would make near-tie accept decisions nondeterministic and
+// the "deterministic heuristics" guarantee would silently break. (A link
+// appears at most once per Manhattan path, so within one id the sum has
+// at most two terms and commutativity makes the tie order among equal ids
+// irrelevant.)
+func swapEffectOf(m *mesh.Mesh, ev *power.Evaluator, loads *route.LoadTracker,
+	old, new route.Path, rate float64, sc *heurScratch) swapEffect {
 
-	deltas := (*buf)[:0]
+	if len(sc.delta) != m.LinkIDSpace() {
+		sc.delta = make([]float64, m.LinkIDSpace())
+	}
+	touched := sc.touched[:0]
 	for _, l := range old {
-		deltas = append(deltas, linkDelta{m.LinkID(l), -rate})
+		id := m.LinkIDFast(l)
+		if sc.delta[id] == 0 {
+			touched = append(touched, id)
+		}
+		sc.delta[id] -= rate
 	}
 	for _, l := range new {
-		deltas = append(deltas, linkDelta{m.LinkID(l), rate})
-	}
-	*buf = deltas
-	slices.SortFunc(deltas, func(a, b linkDelta) int { return a.id - b.id })
-	var e swapEffect
-	for i := 0; i < len(deltas); {
-		id, d := deltas[i].id, deltas[i].d
-		for i++; i < len(deltas) && deltas[i].id == id; i++ {
-			d += deltas[i].d
+		id := m.LinkIDFast(l)
+		if sc.delta[id] == 0 {
+			touched = append(touched, id)
 		}
+		sc.delta[id] += rate
+	}
+	sc.touched = touched
+	sortIDs(touched)
+	cached := loads.Observing()
+	var e swapEffect
+	for _, id := range touched {
+		d := sc.delta[id]
+		sc.delta[id] = 0
 		if d == 0 {
 			continue
 		}
-		before, after := loads.LoadID(id), loads.LoadID(id)+d
-		e.power += pseudoLinkPower(model, after) - pseudoLinkPower(model, before)
-		e.excess += overload(model, after) - overload(model, before)
+		before := loads.LoadID(id)
+		after := before + d
+		bp := 0.0
+		if cached {
+			bp = loads.PseudoID(id)
+		} else {
+			bp = ev.Pseudo(before)
+		}
+		e.power += ev.Pseudo(after) - bp
+		e.excess += ev.Excess(after) - ev.Excess(before)
 	}
 	return e
 }
 
-// linkDelta is one link's pending load change during a swap evaluation.
-type linkDelta struct {
-	id int
-	d  float64
-}
-
-func overload(model power.Model, load float64) float64 {
-	if load > model.MaxBW {
-		return load - model.MaxBW
+// sortIDs is an insertion sort for the tiny touched-id lists of
+// swapEffectOf (a handful of entries): ascending, cheaper than the
+// general-purpose sort's pivot machinery at this size.
+func sortIDs(a []int) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
 	}
-	return 0
 }

@@ -10,15 +10,19 @@ import (
 	"repro/internal/route"
 )
 
-// moveOff is the fresh-scratch form of (*heurScratch).moveOff, the shape
-// the tests were written against. The returned path is copied out of the
-// scratch buffer so callers may keep it.
+// moveOff is the fresh-scratch full-path form of (*heurScratch).moveOff,
+// the shape the tests were written against: the modified span is stitched
+// back between the unchanged prefix and suffix, exercising the span
+// bookkeeping along the way.
 func moveOff(p route.Path, l mesh.Link) (route.Path, bool) {
-	np, ok := new(heurScratch).moveOff(p, l)
+	span, lo, hi, ok := new(heurScratch).moveOff(p, l)
 	if !ok {
 		return nil, false
 	}
-	return np.Clone(), true
+	np := append(route.Path{}, p[:lo]...)
+	np = append(np, span...)
+	np = append(np, p[hi+1:]...)
+	return np, true
 }
 
 // moveOff must always return a valid Manhattan path with the same
@@ -156,22 +160,23 @@ func TestXYINeverWorseThanXY(t *testing.T) {
 	}
 }
 
-// pseudoLinkPower agrees with the strict model inside the feasible range
-// and extends it monotonically beyond.
+// The compiled pseudo power agrees with the strict model inside the
+// feasible range and extends it monotonically beyond.
 func TestPseudoLinkPower(t *testing.T) {
 	model := power.KimHorowitz()
+	ev := power.Compile(model)
 	for _, load := range []float64{0, 100, 1000, 2500, 3500} {
 		want, err := model.LinkPower(load)
 		if err != nil {
 			t.Fatal(err)
 		}
-		if got := pseudoLinkPower(model, load); got != want {
+		if got := ev.Pseudo(load); got != want {
 			t.Errorf("pseudo(%g) = %g, want %g", load, got, want)
 		}
 	}
-	prev := pseudoLinkPower(model, 3500)
+	prev := ev.Pseudo(3500)
 	for load := 3600.0; load < 8000; load += 400 {
-		cur := pseudoLinkPower(model, load)
+		cur := ev.Pseudo(load)
 		if cur <= prev {
 			t.Errorf("pseudo power not increasing past top frequency at %g", load)
 		}

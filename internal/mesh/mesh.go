@@ -198,6 +198,24 @@ func (m *Mesh) LinkID(l Link) int {
 	return int(d)*m.p*m.q + (l.From.U-1)*m.q + (l.From.V - 1)
 }
 
+// LinkIDFast is LinkID without the validity check — the hot-loop form for
+// links that are valid by construction (links of a Manhattan path on this
+// mesh, links returned by LinkByID). An invalid link yields an undefined
+// id instead of a panic; use LinkID whenever the link's provenance is not
+// structural.
+func (m *Mesh) LinkIDFast(l Link) int {
+	d := North
+	switch {
+	case l.To.V == l.From.V+1:
+		d = East
+	case l.To.U == l.From.U+1:
+		d = South
+	case l.To.V == l.From.V-1:
+		d = West
+	}
+	return int(d)*m.p*m.q + (l.From.U-1)*m.q + (l.From.V - 1)
+}
+
 // LinkByID is the inverse of LinkID. It panics if id does not identify a
 // valid link.
 func (m *Mesh) LinkByID(id int) Link {

@@ -15,7 +15,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 )
 
 // ErrOverloaded is returned (wrapped) when a link load exceeds the maximum
@@ -58,7 +58,7 @@ func (m Model) Validate() error {
 	if m.MaxBW <= 0 {
 		return fmt.Errorf("power: non-positive MaxBW %g", m.MaxBW)
 	}
-	if !sort.Float64sAreSorted(m.Freqs) {
+	if !slices.IsSorted(m.Freqs) {
 		return errors.New("power: Freqs must be sorted ascending")
 	}
 	for _, f := range m.Freqs {
@@ -93,7 +93,7 @@ func (m Model) Quantize(load float64) (float64, error) {
 	if m.Continuous() {
 		return math.Min(load, m.MaxBW), nil
 	}
-	i := sort.SearchFloat64s(m.Freqs, load-loadEps)
+	i, _ := slices.BinarySearch(m.Freqs, load-loadEps)
 	if i == len(m.Freqs) {
 		return 0, fmt.Errorf("%w: load %.6g > top frequency %.6g", ErrOverloaded, load, m.MaxBW)
 	}
@@ -123,7 +123,7 @@ func (m Model) QuantizeOK(load float64) (f float64, ok bool) {
 	if m.Continuous() {
 		return math.Min(load, m.MaxBW), true
 	}
-	i := sort.SearchFloat64s(m.Freqs, load-loadEps)
+	i, _ := slices.BinarySearch(m.Freqs, load-loadEps)
 	if i == len(m.Freqs) {
 		return 0, false
 	}

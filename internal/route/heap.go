@@ -1,0 +1,150 @@
+package route
+
+// LoadHeap is a lazy max-heap over a tracker's link loads, ordered by
+// decreasing load with ties by increasing link id — exactly the
+// LinksByLoadDesc scan order. It replaces the full rebuild-and-sort the
+// local-search heuristics historically paid after every applied move:
+// instead of re-sorting all loaded links, the caller pushes only the links
+// whose load changed and the heap invalidates their earlier entries
+// lazily, discarding stale ones as they surface (stale-entry popping).
+//
+// Contract: after Init, every load mutation on the tracker must be
+// followed by Push of the affected link ids before the next Pop, or pops
+// may surface a stale ordering. Entries for links a caller pops and sets
+// aside are simply gone from the heap until SetAside/Reactivate re-pushes
+// them — the "skip this link until the next applied move" idiom of XYI
+// and PR.
+//
+// The zero value is empty; size it with Init. A LoadHeap is single-
+// goroutine state, pooled in workspace scratch like the tracker it tracks.
+type LoadHeap struct {
+	t       *LoadTracker
+	entries []heapEntry
+	// ver[id] is the current version of link id; heap entries carry the
+	// version at push time and are stale (skipped on pop) when it has
+	// moved on.
+	ver   []uint32
+	aside []int32
+}
+
+// heapEntry is one (possibly stale) heap element.
+type heapEntry struct {
+	load float64
+	id   int32
+	ver  uint32
+}
+
+// less orders the heap: decreasing load, ties by increasing link id — a
+// total order, so successive pops yield exactly the sorted sequence.
+func (a heapEntry) less(b heapEntry) bool {
+	if a.load != b.load {
+		return a.load > b.load
+	}
+	return a.id < b.id
+}
+
+// Init binds the heap to the tracker and rebuilds it from every currently
+// loaded link, reusing the heap's backing arrays.
+func (h *LoadHeap) Init(t *LoadTracker) {
+	h.t = t
+	n := len(t.loads)
+	if cap(h.ver) < n {
+		h.ver = make([]uint32, n)
+	} else {
+		h.ver = h.ver[:n]
+		clear(h.ver)
+	}
+	h.entries = h.entries[:0]
+	h.aside = h.aside[:0]
+	for id, load := range t.loads {
+		if load > 0 {
+			h.entries = append(h.entries, heapEntry{load: load, id: int32(id), ver: 0})
+		}
+	}
+	// Bottom-up heapify.
+	for i := len(h.entries)/2 - 1; i >= 0; i-- {
+		h.siftDown(i)
+	}
+}
+
+// Push registers the current load of link id, invalidating any earlier
+// entry for it. Links at zero load get no entry and stop surfacing.
+func (h *LoadHeap) Push(id int) {
+	h.ver[id]++
+	load := h.t.loads[id]
+	if load <= 0 {
+		return
+	}
+	h.entries = append(h.entries, heapEntry{load: load, id: int32(id), ver: h.ver[id]})
+	h.siftUp(len(h.entries) - 1)
+}
+
+// Pop removes and returns the most-loaded live link (ties by smallest id),
+// discarding stale entries as they surface. ok is false when no live entry
+// remains.
+func (h *LoadHeap) Pop() (id int, ok bool) {
+	for len(h.entries) > 0 {
+		top := h.entries[0]
+		last := len(h.entries) - 1
+		h.entries[0] = h.entries[last]
+		h.entries = h.entries[:last]
+		if len(h.entries) > 0 {
+			h.siftDown(0)
+		}
+		if h.ver[top.id] == top.ver {
+			return int(top.id), true
+		}
+	}
+	return 0, false
+}
+
+// SetAside records a popped link as set aside: it stays out of the heap
+// until the next Reactivate, so subsequent pops move on to the next
+// most-loaded link.
+func (h *LoadHeap) SetAside(id int) {
+	h.aside = append(h.aside, int32(id))
+}
+
+// Reactivate re-pushes every set-aside link at its current load — the
+// "every link is back in play after an applied move" step of the rescan
+// heuristics. Callers push the changed links themselves (Push), in any
+// order relative to Reactivate.
+func (h *LoadHeap) Reactivate() {
+	for _, id := range h.aside {
+		h.Push(int(id))
+	}
+	h.aside = h.aside[:0]
+}
+
+func (h *LoadHeap) siftUp(i int) {
+	e := h.entries[i]
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !e.less(h.entries[parent]) {
+			break
+		}
+		h.entries[i] = h.entries[parent]
+		i = parent
+	}
+	h.entries[i] = e
+}
+
+func (h *LoadHeap) siftDown(i int) {
+	e := h.entries[i]
+	n := len(h.entries)
+	for {
+		child := 2*i + 1
+		if child >= n {
+			break
+		}
+		if r := child + 1; r < n && h.entries[r].less(h.entries[child]) {
+			child = r
+		}
+		if !h.entries[child].less(e) {
+			break
+		}
+		h.entries[i] = h.entries[child]
+		i = child
+	}
+	h.entries[i] = e
+}

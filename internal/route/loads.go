@@ -13,11 +13,40 @@ import (
 // against: O(1) add/remove/query by link, plus power-oriented queries.
 // Loads are guarded against drifting negative by clamping tiny negative
 // residues from floating-point removal back to zero.
+//
+// Two optional accelerations serve the refinement heuristics' hot loops
+// (both off by default and switched off again by Reset):
+//
+//   - An incidence index (Observe-independent): EnableIncidence plus the
+//     IncludePath/ExcludePath pair maintain, per link, the sorted list of
+//     member ids whose path currently crosses it, so a local-search
+//     candidate scan visits only the crossing flows instead of every
+//     communication (MembersOn).
+//   - An aggregate observer: Observe attaches a compiled power.Evaluator
+//     and keeps running totals of the pseudo-power and overload excess of
+//     all tracked loads, maintained incrementally on every Add, so a
+//     refinement loop reads its objective in O(1) (Aggregates). The
+//     running totals accumulate float rounding across many updates;
+//     RecomputeAggregates resyncs them to the exact fresh sum.
 type LoadTracker struct {
 	mesh  *mesh.Mesh
 	loads []float64
 	// entries is the reusable sort scratch of LinksByLoadDescInto.
 	entries []loadEntry
+
+	// inc[id] is the sorted member list of link id when the incidence
+	// index is enabled (incOn); the backing arrays persist across solves.
+	inc   [][]int32
+	incOn bool
+
+	// ev, when non-nil, is the attached aggregate observer with its
+	// running totals; pseudoOf caches each link's current pseudo-power
+	// (valid only while observing), so "before" probes of swap
+	// evaluations are an array read instead of an evaluator call.
+	ev        *power.Evaluator
+	aggPower  float64
+	aggExcess float64
+	pseudoOf  []float64
 }
 
 // loadEntry pairs a dense link id with its load for the descending sort.
@@ -36,13 +65,25 @@ func (t *LoadTracker) Mesh() *mesh.Mesh { return t.mesh }
 
 // Add adds rate to the load of link l (rate may be negative to remove).
 func (t *LoadTracker) Add(l mesh.Link, rate float64) {
-	id := t.mesh.LinkID(l)
-	t.loads[id] += rate
-	if t.loads[id] < 0 {
-		if t.loads[id] < -1e-6 {
-			panic(fmt.Sprintf("route: load of %v driven to %g", l, t.loads[id]))
+	t.AddID(t.mesh.LinkID(l), rate)
+}
+
+// AddID is Add by dense link id.
+func (t *LoadTracker) AddID(id int, rate float64) {
+	old := t.loads[id]
+	next := old + rate
+	if next < 0 {
+		if next < -1e-6 {
+			panic(fmt.Sprintf("route: load of %v driven to %g", t.mesh.LinkByID(id), next))
 		}
-		t.loads[id] = 0
+		next = 0
+	}
+	t.loads[id] = next
+	if t.ev != nil {
+		np := t.ev.Pseudo(next)
+		t.aggPower += np - t.pseudoOf[id]
+		t.pseudoOf[id] = np
+		t.aggExcess += t.ev.Excess(next) - t.ev.Excess(old)
 	}
 }
 
@@ -77,17 +118,129 @@ func (t *LoadTracker) LoadsInto(dst []float64) []float64 {
 // evaluation on the hot path and Loads/LoadsInto everywhere else.
 func (t *LoadTracker) LoadsView() []float64 { return t.loads }
 
-// Clone returns an independent copy of the tracker.
+// Clone returns an independent copy of the tracker's loads. The incidence
+// index and aggregate observer are not carried over.
 func (t *LoadTracker) Clone() *LoadTracker {
 	return &LoadTracker{mesh: t.mesh, loads: t.Loads()}
 }
 
-// Reset zeroes all loads.
+// Reset zeroes all loads and switches off the incidence index and the
+// aggregate observer.
 func (t *LoadTracker) Reset() {
 	for i := range t.loads {
 		t.loads[i] = 0
 	}
+	t.incOn = false
+	t.ev = nil
+	t.aggPower, t.aggExcess = 0, 0
 }
+
+// EnableIncidence switches the link→member incidence index on, emptied.
+// While enabled, route all load changes through IncludePath/ExcludePath so
+// the index stays in sync with the loads.
+func (t *LoadTracker) EnableIncidence() {
+	if len(t.inc) != len(t.loads) {
+		t.inc = make([][]int32, len(t.loads))
+	}
+	for id := range t.inc {
+		t.inc[id] = t.inc[id][:0]
+	}
+	t.incOn = true
+}
+
+// IncludePath adds rate along the path and records member on every link of
+// it. Members are arbitrary small non-negative ints (the heuristics use
+// the communication's position in the instance set); MembersOn returns
+// them in ascending order, so an incidence-driven scan visits crossing
+// flows in the same relative order as a full scan of the set.
+func (t *LoadTracker) IncludePath(member int, p Path, rate float64) {
+	for _, l := range p {
+		id := t.mesh.LinkIDFast(l)
+		t.AddID(id, rate)
+		if t.incOn {
+			list := t.inc[id]
+			i, found := slices.BinarySearch(list, int32(member))
+			if !found {
+				t.inc[id] = slices.Insert(list, i, int32(member))
+			}
+		}
+	}
+}
+
+// ExcludePath removes rate along the path and removes member from every
+// link of it — the inverse of IncludePath.
+func (t *LoadTracker) ExcludePath(member int, p Path, rate float64) {
+	for _, l := range p {
+		id := t.mesh.LinkIDFast(l)
+		t.AddID(id, -rate)
+		if t.incOn {
+			list := t.inc[id]
+			if i, found := slices.BinarySearch(list, int32(member)); found {
+				t.inc[id] = slices.Delete(list, i, i+1)
+			}
+		}
+	}
+}
+
+// MembersOn returns the sorted member ids whose included path crosses the
+// link with the given dense id. The slice aliases tracker state: it is
+// valid until the next IncludePath/ExcludePath call and must not be
+// mutated.
+func (t *LoadTracker) MembersOn(id int) []int32 {
+	if !t.incOn {
+		panic("route: MembersOn without EnableIncidence")
+	}
+	return t.inc[id]
+}
+
+// Observe attaches ev as the tracker's aggregate observer and computes the
+// exact aggregate totals of the current loads. Subsequent Adds maintain
+// the totals incrementally; Reset detaches.
+func (t *LoadTracker) Observe(ev *power.Evaluator) {
+	t.ev = ev
+	t.RecomputeAggregates()
+}
+
+// Aggregates returns the running totals of pseudo-power and overload
+// excess over all tracked loads, as maintained incrementally since the
+// last Observe/RecomputeAggregates. It panics without an observer.
+func (t *LoadTracker) Aggregates() (pseudoPower, excess float64) {
+	if t.ev == nil {
+		panic("route: Aggregates without Observe")
+	}
+	return t.aggPower, t.aggExcess
+}
+
+// RecomputeAggregates resyncs the running totals (and the per-link
+// pseudo-power cache) to the exact fresh sum over the load vector in
+// link-id order — the float-drift resync point of long refinement loops —
+// and returns them.
+func (t *LoadTracker) RecomputeAggregates() (pseudoPower, excess float64) {
+	if t.ev == nil {
+		panic("route: RecomputeAggregates without Observe")
+	}
+	if len(t.pseudoOf) != len(t.loads) {
+		t.pseudoOf = make([]float64, len(t.loads))
+	}
+	var p, x float64
+	for id, load := range t.loads {
+		lp := t.ev.Pseudo(load)
+		t.pseudoOf[id] = lp
+		p += lp
+		x += t.ev.Excess(load)
+	}
+	t.aggPower, t.aggExcess = p, x
+	return p, x
+}
+
+// Observing reports whether an aggregate observer is attached (and hence
+// the PseudoID cache is valid).
+func (t *LoadTracker) Observing() bool { return t.ev != nil }
+
+// PseudoID returns the cached pseudo-power of the link with the given
+// dense id under the observing evaluator — always bit-identical to
+// evaluating the link's current load afresh. Only valid while observing.
+func (t *LoadTracker) PseudoID(id int) float64 { return t.pseudoOf[id] }
 
 // MaxLoad returns the largest current load.
 func (t *LoadTracker) MaxLoad() float64 {
@@ -108,9 +261,10 @@ func (t *LoadTracker) LinksByLoadDesc() []mesh.Link {
 }
 
 // LinksByLoadDescInto is LinksByLoadDesc building into dst (reusing its
-// backing array) and sorting in tracker-owned scratch, so the XYI and PR
-// rescan loops pay no allocation per iteration. The ordering is identical
-// to LinksByLoadDesc: decreasing load, ties by increasing link id.
+// backing array) and sorting in tracker-owned scratch, so a rescan loop
+// pays no allocation per iteration. The ordering is identical to
+// LinksByLoadDesc: decreasing load, ties by increasing link id — and to
+// the pop order of a LoadHeap over the same tracker.
 func (t *LoadTracker) LinksByLoadDescInto(dst []mesh.Link) []mesh.Link {
 	t.entries = t.entries[:0]
 	for id, load := range t.loads {
@@ -176,6 +330,16 @@ func (t *LoadTracker) LinkPowerWith(model power.Model, l mesh.Link, extra float6
 	return p
 }
 
+// LinkPowerWithEv is LinkPowerWith against a compiled evaluator — the
+// table-lookup form for greedy hot loops.
+func (t *LoadTracker) LinkPowerWithEv(ev *power.Evaluator, l mesh.Link, extra float64) float64 {
+	p, ok := ev.LinkPowerOK(t.Load(l) + extra)
+	if !ok {
+		return inf
+	}
+	return p
+}
+
 // DeltaPower returns the change in link power caused by adding extra to
 // link l (infeasible additions return +Inf).
 func (t *LoadTracker) DeltaPower(model power.Model, l mesh.Link, extra float64) float64 {
@@ -184,6 +348,20 @@ func (t *LoadTracker) DeltaPower(model power.Model, l mesh.Link, extra float64) 
 		return inf
 	}
 	after, ok := model.LinkPowerOK(t.Load(l) + extra)
+	if !ok {
+		return inf
+	}
+	return after - before
+}
+
+// DeltaPowerEv is DeltaPower against a compiled evaluator.
+func (t *LoadTracker) DeltaPowerEv(ev *power.Evaluator, l mesh.Link, extra float64) float64 {
+	load := t.Load(l)
+	before, ok := ev.LinkPowerOK(load)
+	if !ok {
+		return inf
+	}
+	after, ok := ev.LinkPowerOK(load + extra)
 	if !ok {
 		return inf
 	}

@@ -220,7 +220,12 @@ func (s *CoordSet) index(c mesh.Coord) int { return (c.U-1)*s.q + (c.V - 1) }
 
 // Add inserts c (idempotent).
 func (s *CoordSet) Add(c mesh.Coord) {
-	i := s.index(c)
+	s.AddIdx(s.index(c))
+}
+
+// AddIdx inserts the core with the given dense coordinate index
+// (mesh.CoordIndex) — the form for loops that precomputed their indices.
+func (s *CoordSet) AddIdx(i int) {
 	w, b := i/64, uint64(1)<<(i%64)
 	if s.bits[w]&b == 0 {
 		s.bits[w] |= b
@@ -230,7 +235,11 @@ func (s *CoordSet) Add(c mesh.Coord) {
 
 // Has reports membership of c.
 func (s *CoordSet) Has(c mesh.Coord) bool {
-	i := s.index(c)
+	return s.HasIdx(s.index(c))
+}
+
+// HasIdx reports membership by dense coordinate index (mesh.CoordIndex).
+func (s *CoordSet) HasIdx(i int) bool {
 	return s.bits[i/64]&(uint64(1)<<(i%64)) != 0
 }
 
