@@ -10,7 +10,9 @@ import (
 	"os"
 	"testing"
 
+	"repro/internal/heur"
 	"repro/internal/mesh"
+	"repro/internal/noc"
 	"repro/internal/power"
 	"repro/internal/route"
 	"repro/internal/solve"
@@ -126,17 +128,49 @@ type solverBenchRow struct {
 	BytesPerOp  int64   `json:"bytes_per_op"`
 }
 
+// nocSimBenchRow measures the pooled NoC simulator on the E15 reference
+// instance under the given switching mode — the BENCH_solvers.json entry
+// cmd/benchguard tracks per mode.
+func nocSimBenchRow(t *testing.T, sw noc.Switching) solverBenchRow {
+	t.Helper()
+	m := mesh.MustNew(8, 8)
+	model := power.KimHorowitz()
+	set := workload.New(m, 8).Uniform(15, 100, 1200)
+	res, err := heur.Solve(heur.PR{}, heur.Instance{Mesh: m, Model: model, Comms: set})
+	if err != nil || !res.Feasible {
+		t.Fatalf("NoC bench setup: err=%v feasible=%v", err, res.Feasible)
+	}
+	ws := noc.NewWorkspace()
+	cfg := noc.Config{Horizon: 1000, Warmup: 200, Switching: sw}
+	bres := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sim, err := ws.Simulator(res.Routing, model, cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			sim.Run()
+		}
+	})
+	return solverBenchRow{
+		NsPerOp:     float64(bres.NsPerOp()),
+		AllocsPerOp: bres.AllocsPerOp(),
+		BytesPerOp:  bres.AllocedBytesPerOp(),
+	}
+}
+
 // TestEmitSolverBenchJSON writes BENCH_solvers.json (per-policy ns/op and
-// allocs/op under workspace reuse) when BENCH_SOLVERS_JSON names the
-// output path — the CI hook that starts tracking the solver perf
-// trajectory. Without the variable the test is a no-op.
+// allocs/op under workspace reuse, plus the pooled NoC simulator in both
+// switching modes) when BENCH_SOLVERS_JSON names the output path — the CI
+// hook that tracks the perf trajectory. Without the variable the test is
+// a no-op.
 func TestEmitSolverBenchJSON(t *testing.T) {
 	path := os.Getenv("BENCH_SOLVERS_JSON")
 	if path == "" {
 		t.Skip("BENCH_SOLVERS_JSON not set")
 	}
 	in := solverBenchInstance()
-	rows := make(map[string]solverBenchRow, len(solverBenchNames))
+	rows := make(map[string]solverBenchRow, len(solverBenchNames)+2)
 	for _, name := range solverBenchNames {
 		s, err := solve.Lookup(name)
 		if err != nil {
@@ -161,6 +195,8 @@ func TestEmitSolverBenchJSON(t *testing.T) {
 			BytesPerOp:  res.AllocedBytesPerOp(),
 		}
 	}
+	rows["NoCSimSF"] = nocSimBenchRow(t, noc.StoreAndForward)
+	rows["NoCSimCT"] = nocSimBenchRow(t, noc.CutThrough)
 	data, err := json.MarshalIndent(rows, "", "  ")
 	if err != nil {
 		t.Fatal(err)

@@ -152,7 +152,13 @@ func BenchmarkNPGadget(b *testing.B) {
 	}
 }
 
-// E15 — discrete-event simulator cross-validation of a routed workload.
+// E15 — discrete-event simulator cross-validation of a routed workload,
+// one sub-benchmark per switching mode, through the pooled noc.Workspace
+// (the multi-trial configuration the arena engine is built for; the
+// old-vs-new engine ratio lives in internal/noc's
+// BenchmarkEngineVsReference). Both modes land in BENCH_solvers.json as
+// NoCSimSF/NoCSimCT and cmd/benchguard fails CI when either regresses
+// beyond 2×.
 func BenchmarkNoCSim(b *testing.B) {
 	m := mesh.MustNew(8, 8)
 	model := power.KimHorowitz()
@@ -161,22 +167,31 @@ func BenchmarkNoCSim(b *testing.B) {
 	if err != nil || !res.Feasible {
 		b.Fatalf("setup: err=%v feasible=%v", err, res.Feasible)
 	}
-	b.ResetTimer()
-	var worst float64
-	for i := 0; i < b.N; i++ {
-		sim, err := noc.New(res.Routing, model, noc.Config{Horizon: 1000, Warmup: 200})
-		if err != nil {
-			b.Fatal(err)
-		}
-		st := sim.Run()
-		worst = 0
-		for _, c := range set {
-			if e := relErr(st.DeliveredRate(c.ID), c.Rate); e > worst {
-				worst = e
+	for _, sw := range []noc.Switching{noc.StoreAndForward, noc.CutThrough} {
+		b.Run(sw.String(), func(b *testing.B) {
+			ws := noc.NewWorkspace()
+			b.ReportAllocs()
+			var worst float64
+			for i := 0; i < b.N; i++ {
+				sim, err := ws.Simulator(res.Routing, model, noc.Config{Horizon: 1000, Warmup: 200, Switching: sw})
+				if err != nil {
+					b.Fatal(err)
+				}
+				st := sim.Run()
+				if st.Injected != st.Delivered+st.Stalled+st.InFlight {
+					b.Fatalf("accounting identity broken: %d != %d+%d+%d",
+						st.Injected, st.Delivered, st.Stalled, st.InFlight)
+				}
+				worst = 0
+				for _, c := range set {
+					if e := relErr(st.DeliveredRate(c.ID), c.Rate); e > worst {
+						worst = e
+					}
+				}
 			}
-		}
+			b.ReportMetric(worst, "worstRateErr")
+		})
 	}
-	b.ReportMetric(worst, "worstRateErr")
 }
 
 // Engine — the pooled per-worker-scratch trial runner against the

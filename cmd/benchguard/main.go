@@ -1,12 +1,13 @@
 // Command benchguard compares a freshly measured BENCH_solvers.json
-// against the committed baseline and fails when a tracked policy's ns/op
+// against the committed baseline and fails when a tracked entry's ns/op
 // regressed beyond the allowed factor — the CI tripwire that keeps the
-// refinement heuristics' compiled-objective speedups from silently
-// rotting.
+// refinement heuristics' compiled-objective speedups and the NoC
+// simulator's arena-engine speedup (the NoCSimSF/NoCSimCT rows, one per
+// switching mode) from silently rotting.
 //
 // Usage:
 //
-//	benchguard -baseline BENCH_solvers.json -current fresh.json -policies XYI,SA -factor 2
+//	benchguard -baseline BENCH_solvers.json -current fresh.json -policies XYI,SA,NoCSimSF,NoCSimCT -factor 2
 //
 // By default each policy's ns/op is first normalized by the ns/op of the
 // -ref policy (XY) measured in the same file, so the guard compares how
@@ -38,7 +39,7 @@ func main() {
 	var (
 		baseline = flag.String("baseline", "BENCH_solvers.json", "committed baseline JSON")
 		current  = flag.String("current", "", "freshly measured JSON to check (required)")
-		policies = flag.String("policies", "XYI,SA", "comma-separated policies to guard")
+		policies = flag.String("policies", "XYI,SA,NoCSimSF,NoCSimCT", "comma-separated policies to guard")
 		factor   = flag.Float64("factor", 2, "maximum allowed slowdown current/baseline")
 		ref      = flag.String("ref", "XY", "reference policy that normalizes machine speed (empty = compare raw ns/op)")
 	)

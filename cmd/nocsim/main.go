@@ -80,8 +80,10 @@ func run(p, q, n int, wmin, wmax float64, seed int64, policy string, horizon, wa
 	fmt.Println()
 	fmt.Print(st.Summary())
 	fmt.Printf("\nswitching %v, analytic power %.3f mW vs simulated %.3f mW; "+
-		"mean active-link utilization %.3f; %d packets stalled at horizon\n",
-		switching, sol.PowerMW(), st.PowerMW, st.MeanUtilization(), st.Stalled)
+		"mean active-link utilization %.3f\n",
+		switching, sol.PowerMW(), st.PowerMW, st.MeanUtilization())
+	fmt.Printf("horizon accounting: %d injected = %d delivered + %d stalled + %d in flight\n",
+		st.Injected, st.Delivered, st.Stalled, st.InFlight)
 	if tracer != nil {
 		f, err := os.Create(trace)
 		if err != nil {

@@ -357,7 +357,9 @@ func RunNoCValidation(seed int64, n int) (NoCValidation, error) {
 }
 
 // RunNoCValidationWith is RunNoCValidation under an explicit registered
-// routing policy.
+// routing policy. Solver and simulator state are pooled across the
+// attempt loop (route.Workspace, noc.Workspace), so skipped infeasible
+// seeds cost no fresh construction.
 func RunNoCValidationWith(seed int64, n int, policy string) (NoCValidation, error) {
 	m := mesh.MustNew(8, 8)
 	model := power.KimHorowitz()
@@ -365,12 +367,14 @@ func RunNoCValidationWith(seed int64, n int, policy string) (NoCValidation, erro
 	if err != nil {
 		return NoCValidation{}, err
 	}
+	ws := route.NewWorkspace()
+	sims := noc.NewWorkspace()
 	for attempt := 0; attempt < 50; attempt++ {
 		set, err := drawSet(m, seed+int64(attempt)*101, Workload{N: n, WMin: 100, WMax: 1200})
 		if err != nil {
 			return NoCValidation{}, err
 		}
-		r, err := solver.Route(solve.Instance{Mesh: m, Model: model, Comms: set}, solve.Options{})
+		r, err := solver.Route(solve.Instance{Mesh: m, Model: model, Comms: set}, solve.Options{Workspace: ws})
 		if err != nil {
 			continue // infeasibility proofs / blown budgets: try the next seed
 		}
@@ -378,7 +382,7 @@ func RunNoCValidationWith(seed int64, n int, policy string) (NoCValidation, erro
 		if !res.Feasible {
 			continue
 		}
-		sim, err := noc.New(r, model, noc.Config{Horizon: 3000, Warmup: 500})
+		sim, err := sims.Simulator(r, model, noc.Config{Horizon: 3000, Warmup: 500})
 		if err != nil {
 			return NoCValidation{}, err
 		}

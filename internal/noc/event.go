@@ -1,75 +1,154 @@
 // Package noc is a discrete-event, packet-level network-on-chip simulator
 // used to cross-validate routings produced by the heuristics: packets are
 // injected periodically at each communication's requested rate, forwarded
-// store-and-forward along the routing's explicit paths (table-based source
-// routing), and serialized on links whose frequencies are the DVFS
-// assignments of the power model. The paper's evaluation is analytic
-// (link loads → power); this substrate replays the same routings
+// store-and-forward or cut-through along the routing's explicit paths
+// (table-based source routing), and serialized on links whose frequencies
+// are the DVFS assignments of the power model. The paper's evaluation is
+// analytic (link loads → power); this substrate replays the same routings
 // dynamically and checks that delivered throughput, link utilization and
 // energy agree with the analytic figures.
 //
-// Deadlock freedom: routes are fixed minimal paths and forwarding is
-// store-and-forward with unbounded FIFOs, so the simulator cannot
-// deadlock; the paper assumes an equivalent deadlock-avoidance mechanism
-// (resource ordering [5] or escape channels [3]).
+// The engine follows the repository's dense-workspace discipline
+// (route.Workspace, power.Evaluator): events live in a value-typed index
+// min-heap (no interface boxing, no per-event allocation), packets in a
+// freelist arena addressed by int32 handles, and each flow's path is
+// precompiled to flat link-id/VC-class slices at bind time. A Simulator is
+// rebindable — Reset (or the pooling front door, Workspace.Simulator)
+// reuses every internal buffer across routings, so multi-trial callers run
+// the simulator with O(1) steady-state allocations per run (the returned
+// Stats is the only fresh memory). See Workspace for the reuse contract.
+//
+// Horizon accounting is exact: per-link busy time is clamped to the
+// simulated window (utilization never exceeds 1.0), and every injected
+// packet is accounted for at the horizon — Stats.Injected =
+// Stats.Delivered + Stats.Stalled + Stats.InFlight.
+//
+// Deadlock freedom: with unbounded FIFOs the simulator cannot deadlock;
+// the paper assumes an equivalent deadlock-avoidance mechanism (resource
+// ordering [5] or escape channels [3]). With finite buffers
+// (Config.BufferPackets), routings whose channel dependency graph is
+// cyclic can genuinely deadlock — internal/deadlock's escape-channel
+// assignment (AssignClasses) restores progress.
 package noc
 
-import "container/heap"
-
 // eventKind discriminates simulator events.
-type eventKind int
+type eventKind uint32
 
 const (
 	evInject   eventKind = iota // a flow emits its next packet
 	evLinkFree                  // a link finishes transmitting (tail gone)
 	evArrive                    // a packet (head) reaches its next router
+	// evFreeArrive fuses a link's tail departure with the packet's
+	// arrival at the next router — under store-and-forward the two always
+	// share one timestamp and adjacent sequence numbers, so processing
+	// them as one event halves the heap volume without reordering
+	// anything (see startNext).
+	evFreeArrive
 )
 
-// event is one scheduled simulator occurrence. seq breaks time ties so
-// the simulation is fully deterministic.
+// event is one scheduled simulator occurrence, packed to 16 bytes so heap
+// sifts touch minimal memory. key carries the tie-break sequence number
+// in its upper 30 bits and the eventKind in its lower 2: comparing keys
+// compares sequence numbers, so (time, key) is the same total order as
+// the historical (time, seq) — fully deterministic and independent of the
+// heap implementation, the property the differential test against the
+// container/heap engine relies on. arg is the flow index (evInject), the
+// link id (evLinkFree) or the packet arena handle (evArrive,
+// evFreeArrive).
 type event struct {
 	time float64
-	seq  int64
-	kind eventKind
-	pkt  *packet
-	flow int // evInject: index of the flow
-	link int // evLinkFree: link id
+	key  uint32
+	arg  int32
 }
 
-// eventQueue is a binary min-heap of events ordered by (time, seq).
+func (e event) kind() eventKind { return eventKind(e.key & 3) }
+
+// maxEventSeq bounds the 30-bit sequence space (~10⁹ events per run).
+const maxEventSeq = 1 << 30
+
+// eventQueue is a hand-rolled 4-ary min-heap of events ordered by
+// (time, key) — shallower than a binary heap and friendlier to the cache
+// on the sift-down path that dominates simulator runtime. Its backing
+// array is retained across Simulator.Reset.
 type eventQueue struct {
-	items []*event
-	seq   int64
+	items []event
+	seq   uint32
 }
 
-func (q *eventQueue) Len() int { return len(q.items) }
+func (q *eventQueue) reset() {
+	q.items = q.items[:0]
+	q.seq = 0
+}
 
-func (q *eventQueue) Less(i, j int) bool {
-	if q.items[i].time != q.items[j].time {
-		return q.items[i].time < q.items[j].time
+func (q *eventQueue) len() int { return len(q.items) }
+
+func (q *eventQueue) less(a, b event) bool {
+	if a.time != b.time {
+		return a.time < b.time
 	}
-	return q.items[i].seq < q.items[j].seq
-}
-
-func (q *eventQueue) Swap(i, j int) { q.items[i], q.items[j] = q.items[j], q.items[i] }
-
-func (q *eventQueue) Push(x any) { q.items = append(q.items, x.(*event)) }
-
-func (q *eventQueue) Pop() any {
-	old := q.items
-	n := len(old)
-	it := old[n-1]
-	old[n-1] = nil
-	q.items = old[:n-1]
-	return it
+	return a.key < b.key
 }
 
 // push schedules an event, stamping the tie-break sequence number.
-func (q *eventQueue) push(e *event) {
-	e.seq = q.seq
+func (q *eventQueue) push(time float64, kind eventKind, arg int32) {
+	if q.seq == maxEventSeq {
+		panic("noc: event sequence space exhausted (run exceeds 2^30 events)")
+	}
+	e := event{time: time, key: q.seq<<2 | uint32(kind), arg: arg}
 	q.seq++
-	heap.Push(q, e)
+	q.items = append(q.items, e)
+	q.up(len(q.items) - 1)
 }
 
-// pop removes the earliest event; callers must check Len first.
-func (q *eventQueue) pop() *event { return heap.Pop(q).(*event) }
+// pop removes the earliest event; callers must check len first.
+func (q *eventQueue) pop() event {
+	top := q.items[0]
+	n := len(q.items) - 1
+	q.items[0] = q.items[n]
+	q.items = q.items[:n]
+	if n > 1 {
+		q.down(0)
+	}
+	return top
+}
+
+func (q *eventQueue) up(i int) {
+	e := q.items[i]
+	for i > 0 {
+		parent := (i - 1) / 4
+		if !q.less(e, q.items[parent]) {
+			break
+		}
+		q.items[i] = q.items[parent]
+		i = parent
+	}
+	q.items[i] = e
+}
+
+func (q *eventQueue) down(i int) {
+	items := q.items
+	n := len(items)
+	e := items[i]
+	for {
+		first := 4*i + 1
+		if first >= n {
+			break
+		}
+		last := first + 4
+		if last > n {
+			last = n
+		}
+		min, me := first, items[first]
+		for c := first + 1; c < last; c++ {
+			if ce := items[c]; q.less(ce, me) {
+				min, me = c, ce
+			}
+		}
+		if !q.less(me, e) {
+			break
+		}
+		items[i] = me
+		i = min
+	}
+	items[i] = e
+}

@@ -1,0 +1,107 @@
+package noc
+
+import (
+	"fmt"
+
+	"repro/internal/comm"
+)
+
+// Delivery is one delivered packet streamed to the simulator's delivery
+// observer: which communication it belonged to, when it was injected and
+// delivered, and how many bits it carried. Observers see every delivery,
+// warmup included — filter on Injected if a measurement window applies.
+type Delivery struct {
+	CommID   int
+	Injected float64 // injection time, µs
+	Time     float64 // delivery time, µs
+	Bits     float64
+}
+
+// Observe attaches a streaming delivery observer, called synchronously on
+// every packet delivery during Run; pass nil to detach. Unlike a Tracer
+// the observer retains nothing, so it is the right hook for unbounded
+// runs whose consumers only need delivery accounting (goodput, latency
+// tails). Call before Run; Reset detaches it.
+func (s *Simulator) Observe(fn func(Delivery)) { s.observe = fn }
+
+// WorkloadObserver accumulates per-communication delivered bits
+// streamingly and exports the observed goodput as a communication set —
+// the retention-free replacement for Tracer.ExportWorkload (which must
+// keep every event of a run in memory to do the same sum). Bind it to a
+// run with Reset + Simulator.Observe(o.Record); one observer is reusable
+// across runs and allocates nothing once its buffers are warmed.
+type WorkloadObserver struct {
+	base    comm.Set
+	byID    map[int]int
+	bits    []float64
+	warmup  float64
+	window  float64
+	unknown int // first unknown comm ID seen, when unknownSeen
+	// unknownSeen records a delivery for a communication missing from the
+	// base set; Export fails loudly instead of undercounting.
+	unknownSeen bool
+}
+
+// Reset points the observer at the run's base communication set and
+// measurement window [warmup, horizon): deliveries of packets injected
+// inside the window contribute their bits, and Export divides by the
+// window length — the same accounting as Stats.DeliveredRate.
+func (o *WorkloadObserver) Reset(base comm.Set, warmup, horizon float64) error {
+	window := horizon - warmup
+	if window <= 0 {
+		return fmt.Errorf("noc: empty measurement window [%g, %g)", warmup, horizon)
+	}
+	if o.byID == nil {
+		o.byID = make(map[int]int, len(base))
+	} else {
+		clear(o.byID)
+	}
+	if cap(o.bits) < len(base) {
+		o.bits = make([]float64, len(base))
+	}
+	o.bits = o.bits[:len(base)]
+	for i, c := range base {
+		o.byID[c.ID] = i
+		o.bits[i] = 0
+	}
+	o.base, o.warmup, o.window = base, warmup, window
+	o.unknownSeen = false
+	return nil
+}
+
+// Record is the delivery callback; pass it to Simulator.Observe.
+func (o *WorkloadObserver) Record(d Delivery) {
+	if d.Injected < o.warmup {
+		return
+	}
+	i, ok := o.byID[d.CommID]
+	if !ok {
+		if !o.unknownSeen {
+			o.unknown, o.unknownSeen = d.CommID, true
+		}
+		return
+	}
+	o.bits[i] += d.Bits
+}
+
+// Export converts the accumulated delivery accounting into a
+// communication set carrying each base communication's observed goodput
+// (Mb/s over the measurement window). Communications that delivered
+// nothing are dropped; source, sink and ID come from the matching base
+// entry. The result reuses dst's storage. A delivery for a communication
+// missing from the base set is an error.
+func (o *WorkloadObserver) Export(dst comm.Set) (comm.Set, error) {
+	if o.unknownSeen {
+		return nil, fmt.Errorf("noc: observed comm %d not in the base set", o.unknown)
+	}
+	out := dst[:0]
+	for i, c := range o.base {
+		b := o.bits[i]
+		if b <= 0 {
+			continue
+		}
+		c.Rate = b / o.window
+		out = append(out, c)
+	}
+	return out, nil
+}

@@ -67,15 +67,77 @@ func (c *Config) setDefaults() {
 	}
 }
 
-// packet is one in-flight packet.
+// packet is one in-flight packet, held in the simulator's freelist arena
+// and addressed by int32 handle. The historical engine allocated a fresh
+// packet per hop; the arena packet is advanced in place instead (the field
+// values at each hop are identical).
 type packet struct {
-	flow     int     // index into Simulator.flows
-	hop      int     // next path hop to traverse
+	flow     int32   // index into the routing's flows
+	hop      int32   // next path hop to traverse
 	injected float64 // injection time
 	bits     float64
 	// prevDone is the time the packet's tail cleared the previous link;
 	// cut-through uses it to constrain downstream completions.
 	prevDone float64
+}
+
+// packetArena is the freelist packet pool. Handles of delivered packets
+// are recycled; the backing array is retained across Reset, so a warmed
+// simulator never allocates per packet.
+type packetArena struct {
+	packets []packet
+	free    []int32
+}
+
+func (a *packetArena) reset() {
+	a.packets = a.packets[:0]
+	a.free = a.free[:0]
+}
+
+func (a *packetArena) alloc() int32 {
+	if n := len(a.free); n > 0 {
+		h := a.free[n-1]
+		a.free = a.free[:n-1]
+		return h
+	}
+	a.packets = append(a.packets, packet{})
+	return int32(len(a.packets) - 1)
+}
+
+func (a *packetArena) release(h int32) { a.free = append(a.free, h) }
+
+func (a *packetArena) at(h int32) *packet { return &a.packets[h] }
+
+// pktQueue is a FIFO of packet handles with an amortized-O(1) pop that
+// recycles its backing array instead of re-slicing it away.
+type pktQueue struct {
+	buf  []int32
+	head int
+}
+
+func (q *pktQueue) reset() {
+	q.buf = q.buf[:0]
+	q.head = 0
+}
+
+func (q *pktQueue) len() int { return len(q.buf) - q.head }
+
+func (q *pktQueue) push(h int32) { q.buf = append(q.buf, h) }
+
+func (q *pktQueue) front() int32 { return q.buf[q.head] }
+
+func (q *pktQueue) popFront() int32 {
+	h := q.buf[q.head]
+	q.head++
+	if q.head == len(q.buf) {
+		q.buf, q.head = q.buf[:0], 0
+	} else if q.head >= 32 && q.head*2 >= len(q.buf) {
+		// Compact so a queue that never fully drains cannot grow without
+		// bound.
+		n := copy(q.buf, q.buf[q.head:])
+		q.buf, q.head = q.buf[:n], 0
+	}
+	return h
 }
 
 // numClasses is the number of virtual channels per physical link: class 0
@@ -90,7 +152,7 @@ type linkState struct {
 	freq     float64 // assigned DVFS frequency (Mb/s); 0 = unused link
 	busy     bool
 	busyTime float64
-	queues   [numClasses][]*packet
+	queues   [numClasses]pktQueue
 	// reserved counts in-flight packets that have claimed a buffer slot
 	// but not yet arrived (finite-buffer mode).
 	reserved [numClasses]int
@@ -98,38 +160,60 @@ type linkState struct {
 	// occupy the router's finite buffer; freshly injected packets wait
 	// in the source NIC's unbounded queue.
 	relayQueued [numClasses]int
-	// waiters lists upstream link ids blocked on this VC's buffer.
-	waiters [numClasses][]int
+	// waiters lists upstream link ids blocked on this VC's buffer. The
+	// backing arrays circulate through the simulator's waiter pool.
+	waiters [numClasses][]int32
 }
 
 func (ls *linkState) queuedPackets() int {
 	n := 0
 	for c := 0; c < numClasses; c++ {
-		n += len(ls.queues[c])
+		n += ls.queues[c].len()
 	}
 	return n
 }
 
-// Simulator replays a routing as discrete packet traffic.
+// Simulator replays a routing as discrete packet traffic. It is rebindable:
+// Reset (or Workspace.Simulator) points it at a new routing while reusing
+// every internal buffer — event heap, packet arena, per-link queues and
+// the precompiled path tables. A Simulator is not safe for concurrent use.
 type Simulator struct {
 	routing route.Routing
 	model   power.Model
 	cfg     Config
 	links   []linkState
 	tracer  *Tracer
-	// classes[f][h] is the virtual-channel class of flow f's h-th hop;
-	// nil means everything rides class 0.
-	classes [][]int
+	observe func(Delivery)
+
+	// Flat per-flow path tables, built once per Reset: flow f's hop h
+	// uses link pathLink[flowOff[f]+h] on VC class pathClass[flowOff[f]+h].
+	flowOff   []int32
+	pathLink  []int32
+	pathClass []uint8
+	// period is each flow's packet inter-injection time (µs).
+	period []float64
+
+	q     eventQueue
+	arena packetArena
+	// loads is the Reset-time scratch for the routing's analytic loads.
+	loads []float64
+	// waiterPool recycles drained waiter lists (finite-buffer mode).
+	waiterPool [][]int32
+
+	bound bool // a successful New/Reset has configured the simulator
+	ran   bool // Run consumed the current binding
 }
 
 // AssignClasses installs a per-hop virtual-channel schedule, e.g. the
 // escape-channel assignment of internal/deadlock (Assignment.Classes).
 // Each flow's slice must cover its path; classes are 0 (escape) or 1
 // (adaptive). Call before Run; pass nil to revert to single-class
-// operation.
+// operation. Reset reverts to single-class operation too.
 func (s *Simulator) AssignClasses(classes [][]int) error {
 	if classes == nil {
-		s.classes = nil
+		for i := range s.pathClass {
+			s.pathClass[i] = 0
+		}
 		return nil
 	}
 	if len(classes) != len(s.routing.Flows) {
@@ -145,16 +229,13 @@ func (s *Simulator) AssignClasses(classes [][]int) error {
 			}
 		}
 	}
-	s.classes = classes
-	return nil
-}
-
-// classOf returns the VC class of a flow's hop.
-func (s *Simulator) classOf(flow, hop int) int {
-	if s.classes == nil {
-		return 0
+	for f, cs := range classes {
+		off := s.flowOff[f]
+		for h, c := range cs {
+			s.pathClass[off+int32(h)] = uint8(c)
+		}
 	}
-	return s.classes[flow][hop]
+	return nil
 }
 
 // New prepares a simulator for the routing: per-link DVFS frequencies are
@@ -162,60 +243,168 @@ func (s *Simulator) classOf(flow, hop int) int {
 // exactly as the system would configure the links. An error is returned
 // when the routing is infeasible (some load above the top frequency) —
 // such routings count as failures in the paper and have no operating
-// point to simulate.
+// point to simulate. Multi-trial callers should pool one simulator via
+// Workspace instead of calling New per trial.
 func New(r route.Routing, model power.Model, cfg Config) (*Simulator, error) {
+	s := &Simulator{}
+	if err := s.Reset(r, model, cfg); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Reset rebinds the simulator to a routing, model and configuration,
+// reusing all internal storage — the pooling hook behind Workspace. Any
+// attached Tracer, delivery observer and class assignment are detached
+// (the simulator starts from the same clean slate New gives). On error
+// the simulator is left unbound; Reset again before Run. The previous
+// run's Stats remain valid: they share no simulator memory.
+func (s *Simulator) Reset(r route.Routing, model power.Model, cfg Config) error {
 	cfg.setDefaults()
-	loads := r.Loads()
-	links := make([]linkState, r.Mesh.LinkIDSpace())
-	for id, load := range loads {
+	s.bound, s.ran = false, false
+	s.tracer, s.observe = nil, nil
+
+	// Per-link state: grow to the mesh's link-id space and clear, keeping
+	// queue and waiter capacities.
+	n := r.Mesh.LinkIDSpace()
+	if cap(s.links) < n {
+		s.links = make([]linkState, n)
+	}
+	s.links = s.links[:n]
+	for i := range s.links {
+		ls := &s.links[i]
+		ls.freq, ls.busy, ls.busyTime = 0, false, 0
+		for c := 0; c < numClasses; c++ {
+			ls.queues[c].reset()
+			ls.reserved[c], ls.relayQueued[c] = 0, 0
+			if ls.waiters[c] != nil {
+				s.waiterPool = append(s.waiterPool, ls.waiters[c][:0])
+				ls.waiters[c] = nil
+			}
+		}
+	}
+	s.q.reset()
+	s.arena.reset()
+
+	// DVFS operating point from the analytic loads.
+	s.loads = r.LoadsInto(s.loads)
+	for id, load := range s.loads {
 		if load == 0 {
 			continue
 		}
 		f, err := model.Quantize(load)
 		if err != nil {
-			return nil, fmt.Errorf("noc: link %v: %w", r.Mesh.LinkByID(id), err)
+			return fmt.Errorf("noc: link %v: %w", r.Mesh.LinkByID(id), err)
 		}
-		links[id].freq = f
+		s.links[id].freq = f
 	}
-	return &Simulator{routing: r, model: model, cfg: cfg, links: links}, nil
+
+	// Precompile each flow's path to flat link-id/class tables and its
+	// injection period.
+	nf := len(r.Flows)
+	if cap(s.flowOff) < nf+1 {
+		s.flowOff = make([]int32, 0, nf+1)
+	}
+	if cap(s.period) < nf {
+		s.period = make([]float64, 0, nf)
+	}
+	s.flowOff, s.period = s.flowOff[:0], s.period[:0]
+	s.pathLink, s.pathClass = s.pathLink[:0], s.pathClass[:0]
+	off := int32(0)
+	for _, fl := range r.Flows {
+		s.flowOff = append(s.flowOff, off)
+		s.period = append(s.period, cfg.PacketBits/fl.Comm.Rate)
+		for _, l := range fl.Path {
+			s.pathLink = append(s.pathLink, int32(r.Mesh.LinkID(l)))
+			s.pathClass = append(s.pathClass, 0)
+			off++
+		}
+	}
+	s.flowOff = append(s.flowOff, off)
+
+	s.routing, s.model, s.cfg = r, model, cfg
+	s.bound = true
+	return nil
 }
 
+// hops returns flow f's path length.
+func (s *Simulator) hops(f int32) int32 { return s.flowOff[f+1] - s.flowOff[f] }
+
 // Run executes the simulation until the horizon and returns the collected
-// statistics. Run may be called once per Simulator.
+// statistics. Run may be called once per New or Reset; call Reset (or go
+// through Workspace.Simulator) between runs. The returned Stats owns its
+// memory and stays valid across later Resets.
 func (s *Simulator) Run() *Stats {
+	if !s.bound || s.ran {
+		panic("noc: Run needs a fresh New or Reset (one Run per binding)")
+	}
+	s.ran = true
 	st := newStats(s.routing, s.cfg)
-	q := &eventQueue{}
 
 	// Stagger flow start phases deterministically across one packet
 	// period so same-rate flows do not inject in lockstep.
-	for i, fl := range s.routing.Flows {
-		period := s.cfg.PacketBits / fl.Comm.Rate
-		phase := period * float64(i%7) / 7.0
-		q.push(&event{time: phase, kind: evInject, flow: i})
+	for i := range s.routing.Flows {
+		phase := s.period[i] * float64(i%7) / 7.0
+		s.q.push(phase, evInject, int32(i))
 	}
 
-	for q.Len() > 0 {
-		e := q.pop()
+	for s.q.len() > 0 {
+		e := s.q.pop()
 		if e.time > s.cfg.Horizon {
+			// A popped arrival past the horizon is a packet
+			// mid-transmission, not a silently vanished one.
+			if k := e.kind(); k == evArrive || k == evFreeArrive {
+				st.InFlight++
+			}
 			break
 		}
-		switch e.kind {
+		switch e.kind() {
 		case evInject:
-			fl := s.routing.Flows[e.flow]
-			pkt := &packet{flow: e.flow, injected: e.time, bits: s.cfg.PacketBits, prevDone: e.time}
-			s.tracer.record(TraceEvent{Time: e.time, Kind: "inject", CommID: fl.Comm.ID})
-			s.arrive(q, st, pkt, e.time)
-			period := s.cfg.PacketBits / fl.Comm.Rate
-			q.push(&event{time: e.time + period, kind: evInject, flow: e.flow})
+			f := e.arg
+			st.Injected++
+			h := s.arena.alloc()
+			*s.arena.at(h) = packet{flow: f, injected: e.time, bits: s.cfg.PacketBits, prevDone: e.time}
+			if s.tracer != nil {
+				s.tracer.record(TraceEvent{Time: e.time, Kind: "inject", CommID: s.routing.Flows[f].Comm.ID})
+			}
+			s.arrive(st, h, e.time)
+			s.q.push(e.time+s.period[f], evInject, f)
+		case evFreeArrive:
+			// Store-and-forward fusion: the tail clears the link and the
+			// packet reaches the next router at the same instant. Free
+			// the link first, then arrive — exactly the order the two
+			// split events (adjacent sequence numbers, same timestamp)
+			// process in.
+			h := e.arg
+			pkt := s.arena.at(h)
+			id := s.pathLink[s.flowOff[pkt.flow]+pkt.hop-1]
+			s.links[id].busy = false
+			s.startNext(id, e.time)
+			if s.tracer != nil {
+				s.tracer.record(TraceEvent{
+					Time: e.time, Kind: "hop",
+					CommID: s.routing.Flows[pkt.flow].Comm.ID, Hop: int(pkt.hop),
+				})
+			}
+			s.arrive(st, h, e.time)
 		case evArrive:
-			s.tracer.record(TraceEvent{
-				Time: e.time, Kind: "hop",
-				CommID: s.routing.Flows[e.pkt.flow].Comm.ID, Hop: e.pkt.hop,
-			})
-			s.arrive(q, st, e.pkt, e.time)
+			pkt := s.arena.at(e.arg)
+			if s.tracer != nil {
+				s.tracer.record(TraceEvent{
+					Time: e.time, Kind: "hop",
+					CommID: s.routing.Flows[pkt.flow].Comm.ID, Hop: int(pkt.hop),
+				})
+			}
+			s.arrive(st, e.arg, e.time)
 		case evLinkFree:
-			s.links[e.link].busy = false
-			s.startNext(q, e.link, e.time)
+			s.links[e.arg].busy = false
+			s.startNext(e.arg, e.time)
+		}
+	}
+	// Everything still scheduled to arrive is in flight at the horizon.
+	for _, e := range s.q.items {
+		if k := e.kind(); k == evArrive || k == evFreeArrive {
+			st.InFlight++
 		}
 	}
 	s.finalize(st)
@@ -225,41 +414,51 @@ func (s *Simulator) Run() *Stats {
 // arrive handles a packet reaching a router: deliver it (the event time of
 // a final arrival is the tail's), or queue it on the next link of its
 // path.
-func (s *Simulator) arrive(q *eventQueue, st *Stats, pkt *packet, now float64) {
-	fl := s.routing.Flows[pkt.flow]
-	if pkt.hop == len(fl.Path) {
-		s.tracer.record(TraceEvent{
-			Time: now, Kind: "deliver", CommID: fl.Comm.ID,
-			Hop: pkt.hop, Lat: now - pkt.injected,
-		})
-		st.deliver(fl.Comm.ID, pkt, now)
+func (s *Simulator) arrive(st *Stats, h int32, now float64) {
+	pkt := s.arena.at(h)
+	if pkt.hop == s.hops(pkt.flow) {
+		fl := &s.routing.Flows[pkt.flow]
+		if s.tracer != nil {
+			s.tracer.record(TraceEvent{
+				Time: now, Kind: "deliver", CommID: fl.Comm.ID,
+				Hop: int(pkt.hop), Lat: now - pkt.injected,
+			})
+		}
+		if s.observe != nil {
+			s.observe(Delivery{CommID: fl.Comm.ID, Injected: pkt.injected, Time: now, Bits: pkt.bits})
+		}
+		st.deliver(fl.Comm.ID, pkt.injected, pkt.bits, now)
+		s.arena.release(h)
 		return
 	}
-	id := s.routing.Mesh.LinkID(fl.Path[pkt.hop])
-	class := s.classOf(pkt.flow, pkt.hop)
+	i := s.flowOff[pkt.flow] + pkt.hop
+	id := s.pathLink[i]
+	class := int(s.pathClass[i])
+	ls := &s.links[id]
 	if pkt.hop > 0 && s.cfg.BufferPackets > 0 {
-		s.links[id].reserved[class]-- // the claimed slot is now occupied
-		s.links[id].relayQueued[class]++
+		ls.reserved[class]-- // the claimed slot is now occupied
+		ls.relayQueued[class]++
 	}
-	s.links[id].queues[class] = append(s.links[id].queues[class], pkt)
-	s.startNext(q, id, now)
+	ls.queues[class].push(h)
+	s.startNext(id, now)
 }
 
 // nextHopTarget returns the link and VC class the packet will need after
 // the given hop, or link −1 when that hop delivers it to its sink.
-func (s *Simulator) nextHopTarget(pkt *packet) (link, class int) {
-	fl := s.routing.Flows[pkt.flow]
-	if pkt.hop+1 >= len(fl.Path) {
+func (s *Simulator) nextHopTarget(h int32) (link int32, class int) {
+	pkt := s.arena.at(h)
+	i := s.flowOff[pkt.flow] + pkt.hop + 1
+	if i >= s.flowOff[pkt.flow+1] {
 		return -1, 0
 	}
-	return s.routing.Mesh.LinkID(fl.Path[pkt.hop+1]), s.classOf(pkt.flow, pkt.hop+1)
+	return s.pathLink[i], int(s.pathClass[i])
 }
 
 // hasRoom reports whether the VC buffer (link id, class) can accept one
 // more transit packet, counting queued transit packets and slots claimed
 // by in-flight ones. Source-side injections do not consume router
 // buffers.
-func (s *Simulator) hasRoom(id, class int) bool {
+func (s *Simulator) hasRoom(id int32, class int) bool {
 	if s.cfg.BufferPackets <= 0 || id < 0 {
 		return true
 	}
@@ -275,18 +474,18 @@ func (s *Simulator) hasRoom(id, class int) bool {
 // is forwarded one flit time after service starts, while the tail cannot
 // clear this link earlier than one flit after it cleared the previous
 // one.
-func (s *Simulator) startNext(q *eventQueue, id int, now float64) {
+func (s *Simulator) startNext(id int32, now float64) {
 	ls := &s.links[id]
 	if ls.busy {
 		return
 	}
-	var pkt *packet
+	h := int32(-1)
 	var class int
 	for c := 0; c < numClasses; c++ {
-		if len(ls.queues[c]) == 0 {
+		if ls.queues[c].len() == 0 {
 			continue
 		}
-		head := ls.queues[c][0]
+		head := ls.queues[c].front()
 		down, downClass := s.nextHopTarget(head)
 		if !s.hasRoom(down, downClass) {
 			// Blocked: retry when the downstream VC drains. Other
@@ -294,66 +493,92 @@ func (s *Simulator) startNext(q *eventQueue, id int, now float64) {
 			s.links[down].waiters[downClass] = appendUnique(s.links[down].waiters[downClass], id)
 			continue
 		}
-		pkt, class = head, c
+		h, class = head, c
 		break
 	}
-	if pkt == nil {
+	if h < 0 {
 		return
 	}
-	downstream, downClass := s.nextHopTarget(pkt)
-	ls.queues[class] = ls.queues[class][1:]
+	pkt := s.arena.at(h)
+	flow, hop, bits, prevDone := pkt.flow, pkt.hop, pkt.bits, pkt.prevDone
+	downstream, downClass := s.nextHopTarget(h)
+	ls.queues[class].popFront()
 	ls.busy = true // set before waking waiters: the wake chain may reach this link again
 	if s.cfg.BufferPackets > 0 {
-		if pkt.hop > 0 {
+		if hop > 0 {
 			ls.relayQueued[class]--
 		}
 		if downstream >= 0 {
 			s.links[downstream].reserved[downClass]++
 		}
-		s.wakeWaiters(q, id, class, now)
+		s.wakeWaiters(id, class, now)
 	}
-	tx := pkt.bits / ls.freq
+	tx := bits / ls.freq
 	done := now + tx
 	if s.cfg.Switching == CutThrough {
-		if tail := pkt.prevDone + s.cfg.FlitBits/ls.freq; tail > done {
+		if tail := prevDone + s.cfg.FlitBits/ls.freq; tail > done {
 			done = tail
 		}
 	}
-	ls.busyTime += done - now
-	q.push(&event{time: done, kind: evLinkFree, link: id})
-
-	next := &packet{
-		flow: pkt.flow, hop: pkt.hop + 1,
-		injected: pkt.injected, bits: pkt.bits, prevDone: done,
+	// Busy time is only accrued inside the simulated window, so a
+	// transmission completing past the horizon cannot push link
+	// utilization above 1.0.
+	end := done
+	if end > s.cfg.Horizon {
+		end = s.cfg.Horizon
 	}
-	arrival := done
+	ls.busyTime += end - now
+
+	// Advance the packet onto the next hop in place.
+	pkt.hop = hop + 1
+	pkt.prevDone = done
 	if s.cfg.Switching == CutThrough {
+		arrival := done
 		if head := now + s.cfg.FlitBits/ls.freq; head < done {
 			arrival = head
 		}
-		fl := s.routing.Flows[pkt.flow]
-		if next.hop == len(fl.Path) {
+		if pkt.hop == s.hops(flow) {
 			arrival = done // final delivery counts the tail
 		}
+		if arrival == done {
+			// Tail-bound (or final-hop) pipelines coincide like
+			// store-and-forward: fuse the pair.
+			s.q.push(done, evFreeArrive, h)
+		} else {
+			s.q.push(done, evLinkFree, id)
+			s.q.push(arrival, evArrive, h)
+		}
+	} else {
+		// Store-and-forward: tail departure and next-router arrival
+		// coincide, so one fused event carries both (the link id is
+		// recomputed from the packet's advanced hop).
+		s.q.push(done, evFreeArrive, h)
 	}
-	q.push(&event{time: arrival, kind: evArrive, pkt: next})
 }
 
 // wakeWaiters retries upstream links that were blocked on this VC's
-// buffer space.
-func (s *Simulator) wakeWaiters(q *eventQueue, id, class int, now float64) {
+// buffer space. The drained list's backing array goes back to the waiter
+// pool; re-blocking links append to a fresh pooled list, so the wake chain
+// never mutates the snapshot it is iterating.
+func (s *Simulator) wakeWaiters(id int32, class int, now float64) {
 	ls := &s.links[id]
-	if len(ls.waiters[class]) == 0 {
+	w := ls.waiters[class]
+	if len(w) == 0 {
 		return
 	}
-	waiters := ls.waiters[class]
-	ls.waiters[class] = nil
-	for _, w := range waiters {
-		s.startNext(q, w, now)
+	if n := len(s.waiterPool); n > 0 {
+		ls.waiters[class] = s.waiterPool[n-1]
+		s.waiterPool = s.waiterPool[:n-1]
+	} else {
+		ls.waiters[class] = nil
 	}
+	for _, up := range w {
+		s.startNext(up, now)
+	}
+	s.waiterPool = append(s.waiterPool, w[:0])
 }
 
-func appendUnique(xs []int, x int) []int {
+func appendUnique[T comparable](xs []T, x T) []T {
 	for _, v := range xs {
 		if v == x {
 			return xs

@@ -45,6 +45,17 @@ type Stats struct {
 	EnergyNJ float64
 	// ActiveLinks counts links carrying any traffic.
 	ActiveLinks int
+	// Injected counts packets injected before the horizon, warmup
+	// included. Every injected packet is accounted for:
+	// Injected = Delivered + Stalled + InFlight.
+	Injected int
+	// Delivered counts every delivered packet, warmup included (the
+	// PerComm figures only count post-warmup deliveries).
+	Delivered int
+	// InFlight counts packets mid-transmission at the horizon — started
+	// on a link but with their arrival scheduled past it. The historical
+	// engine dropped these from the accounting entirely.
+	InFlight int
 	// Stalled counts packets still sitting in link queues at the
 	// horizon. Small numbers are in-flight tails; persistent growth —
 	// or any stall with nothing delivered — indicates backpressure
@@ -68,14 +79,15 @@ func newStats(r route.Routing, cfg Config) *Stats {
 	return st
 }
 
-func (st *Stats) deliver(commID int, pkt *packet, now float64) {
-	if pkt.injected < st.Warmup {
+func (st *Stats) deliver(commID int, injected, bits, now float64) {
+	st.Delivered++
+	if injected < st.Warmup {
 		return
 	}
 	cs := st.PerComm[commID]
-	cs.DeliveredBits += pkt.bits
+	cs.DeliveredBits += bits
 	cs.Packets++
-	lat := now - pkt.injected
+	lat := now - injected
 	cs.TotalLatency += lat
 	if lat > cs.MaxLatency {
 		cs.MaxLatency = lat

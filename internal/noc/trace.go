@@ -64,8 +64,14 @@ func (t *Tracer) WriteCSV(w io.Writer) error {
 // entry. The result reuses dst's storage, so trace-driven workload
 // generators can replay simulator observations without allocating per
 // draw. Events must come from a run over the base set; an unknown comm ID
-// in the trace is an error.
+// in the trace is an error, as is a tracer that dropped events after
+// hitting Cap — deliver events may be among the drops, and a silently
+// undercounted goodput is worse than no export. Retention-free consumers
+// should use a WorkloadObserver instead.
 func (t *Tracer) ExportWorkload(dst, base comm.Set, packetBits, warmup, horizon float64) (comm.Set, error) {
+	if t.Dropped > 0 {
+		return nil, fmt.Errorf("noc: tracer dropped %d events at Cap %d; goodput would be undercounted (raise Cap or stream a WorkloadObserver)", t.Dropped, t.Cap)
+	}
 	if packetBits <= 0 {
 		return nil, fmt.Errorf("noc: non-positive packet size %g", packetBits)
 	}

@@ -63,6 +63,12 @@ func TestTracerCapAndDrop(t *testing.T) {
 	if tr.Dropped == 0 {
 		t.Error("no drops recorded despite cap")
 	}
+	// A capped tracer that dropped events cannot vouch for its goodput:
+	// ExportWorkload must refuse instead of silently undercounting.
+	base := comm.Set{r.Flows[0].Comm}
+	if _, err := tr.ExportWorkload(nil, base, 2048, 0, 500); err == nil {
+		t.Error("ExportWorkload accepted a tracer with dropped events")
+	}
 }
 
 func TestTraceCSV(t *testing.T) {

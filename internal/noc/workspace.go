@@ -1,0 +1,42 @@
+package noc
+
+import (
+	"repro/internal/power"
+	"repro/internal/route"
+)
+
+// Workspace pools one Simulator across trials, mirroring the solver
+// layer's route.Workspace contract: multi-trial callers (the trace
+// scenario source, the NoC validation experiment, cmd benchmarks) bind
+// the pooled simulator to each new routing instead of paying New's
+// allocations per draw.
+//
+// Pooling contract:
+//
+//   - A Workspace is NOT safe for concurrent use; give each worker its
+//     own.
+//   - Workspace.Simulator resets the pooled simulator: Tracer, delivery
+//     observer and class assignment from the previous trial are detached
+//     — re-attach per trial, before Run.
+//   - The Stats returned by Run own their memory: they stay valid after
+//     the workspace moves on to the next trial.
+//   - A fresh New per trial produces bit-identical results; only the
+//     allocation profile changes.
+type Workspace struct {
+	sim Simulator
+}
+
+// NewWorkspace returns an empty workspace; its simulator binds on the
+// first Simulator call.
+func NewWorkspace() *Workspace { return &Workspace{} }
+
+// Simulator binds the pooled simulator to the routing and returns it,
+// ready for one Run. The error cases are New's (an infeasible routing has
+// no operating point to simulate); after an error the workspace remains
+// usable for the next trial.
+func (w *Workspace) Simulator(r route.Routing, model power.Model, cfg Config) (*Simulator, error) {
+	if err := w.sim.Reset(r, model, cfg); err != nil {
+		return nil, err
+	}
+	return &w.sim, nil
+}

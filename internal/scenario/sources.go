@@ -274,14 +274,17 @@ const (
 
 // traceSource is the trace-driven generator: each draw offers a seeded
 // uniform workload (N, WMin, WMax), routes it with the PR heuristic,
-// replays it in the discrete-event NoC simulator with a Tracer attached,
-// and exports the observed per-communication goodput as the communication
-// set (noc.Tracer.ExportWorkload) — traffic as the chip actually
-// delivered it, contention and all. Seeds whose offered load is
-// PR-infeasible are skipped deterministically, like the NoC
-// cross-validation experiment. Draws run a full simulation, so the source
-// is orders of magnitude heavier than the synthetic ones; use small trial
-// counts.
+// replays it in the discrete-event NoC simulator with a streaming
+// delivery observer attached, and exports the observed per-communication
+// goodput as the communication set (noc.WorkloadObserver) — traffic as
+// the chip actually delivered it, contention and all. The drawer pools
+// one simulator across draws (noc.Workspace) and the observer retains
+// only per-comm bit totals, so a draw costs no event retention and no
+// per-draw simulator construction no matter how long the replay runs.
+// Seeds whose offered load is PR-infeasible are skipped
+// deterministically, like the NoC cross-validation experiment. Draws
+// still run a full simulation, so the source remains heavier than the
+// synthetic ones; use small trial counts.
 type traceSource struct{}
 
 func (traceSource) Name() string { return "trace" }
@@ -304,7 +307,10 @@ func (traceSource) Bind(m *mesh.Mesh, p Params) (Drawer, error) {
 	if m.NumCores() < 2 {
 		return nil, fmt.Errorf("needs at least 2 cores")
 	}
-	return &traceDrawer{m: m, p: p, model: power.KimHorowitz(), gen: workload.New(m, 0)}, nil
+	return &traceDrawer{
+		m: m, p: p, model: power.KimHorowitz(),
+		gen: workload.New(m, 0), sims: noc.NewWorkspace(),
+	}, nil
 }
 
 type traceDrawer struct {
@@ -313,6 +319,8 @@ type traceDrawer struct {
 	model   power.Model
 	gen     *workload.Generator
 	offered comm.Set
+	sims    *noc.Workspace
+	obs     noc.WorkloadObserver
 }
 
 func (d *traceDrawer) Draw(seed int64, dst comm.Set) (comm.Set, error) {
@@ -326,16 +334,18 @@ func (d *traceDrawer) Draw(seed int64, dst comm.Set) (comm.Set, error) {
 		if !res.Feasible {
 			continue
 		}
-		sim, err := noc.New(res.Routing, d.model, noc.Config{
+		sim, err := d.sims.Simulator(res.Routing, d.model, noc.Config{
 			Horizon: traceHorizonUS, Warmup: traceWarmupUS, PacketBits: tracePacketBits,
 		})
 		if err != nil {
 			continue
 		}
-		tr := &noc.Tracer{}
-		sim.Trace(tr)
+		if err := d.obs.Reset(d.offered, traceWarmupUS, traceHorizonUS); err != nil {
+			return nil, err
+		}
+		sim.Observe(d.obs.Record)
 		sim.Run()
-		out, err := tr.ExportWorkload(dst, d.offered, tracePacketBits, traceWarmupUS, traceHorizonUS)
+		out, err := d.obs.Export(dst)
 		if err != nil {
 			return nil, err
 		}
