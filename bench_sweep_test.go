@@ -1,7 +1,8 @@
 // Streaming-sweep benchmark harness: the per-trial allocation guard of
 // the sink/streaming layer (sinks may allocate per point, never per
-// trial) and the BENCH_sweep.json emitter CI uses to track the streamed
-// sweep pipeline alongside the per-policy solver numbers.
+// trial), the BENCH_sweep.json emitter CI uses to track the streamed
+// sweep pipeline alongside the per-policy solver numbers, and the
+// work-stealing scaling benchmark behind BENCH_scaling.json.
 package repro_test
 
 import (
@@ -9,6 +10,10 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
 	"testing"
 
 	"repro/internal/experiments"
@@ -85,6 +90,138 @@ func TestEmitSweepBenchJSON(t *testing.T) {
 		},
 	}
 	data, err := json.MarshalIndent(rows, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fmt.Printf("wrote %s\n", path)
+}
+
+// scalingSpec is the mixed fast/slow-point sweep the scaling numbers are
+// measured on: big-n congested points interleaved with tiny ones, so a
+// per-point barrier would idle most of the fleet on every slow point —
+// exactly the shape the work-stealing scheduler exists for.
+func scalingSpec(trials int) scenario.Spec {
+	return scenario.Spec{
+		ID: "scaling", Title: "scaling",
+		Params: scenario.Params{WMin: 100, WMax: 1500},
+		Axis:   scenario.AxisN, Points: []float64{10, 90, 15, 70, 20, 80},
+		Trials: trials, Seed: 7,
+		Policies: []string{"XY", "XYI"},
+	}
+}
+
+func runScalingSweep(b testing.TB, workers, trials int) {
+	sp := scalingSpec(trials)
+	err := experiments.Sweep(sp, experiments.SweepOptions{Workers: workers},
+		experiments.NewCSVSink(io.Discard, io.Discard))
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
+// scalingWorkerCounts returns the worker counts to measure: 1, 2, 4 and
+// NumCPU by default (deduplicated, sorted), or the comma-separated list
+// in BENCH_SCALING_WORKERS ("max" meaning NumCPU) — the hook CI's smoke
+// step uses to measure just the endpoints.
+func scalingWorkerCounts(tb testing.TB) []int {
+	counts := []int{1, 2, 4, runtime.NumCPU()}
+	if env := os.Getenv("BENCH_SCALING_WORKERS"); env != "" {
+		counts = counts[:0]
+		for _, f := range strings.Split(env, ",") {
+			f = strings.TrimSpace(f)
+			if strings.EqualFold(f, "max") {
+				counts = append(counts, runtime.NumCPU())
+				continue
+			}
+			n, err := strconv.Atoi(f)
+			if err != nil || n < 1 {
+				tb.Fatalf("BENCH_SCALING_WORKERS: bad count %q", f)
+			}
+			counts = append(counts, n)
+		}
+	}
+	sort.Ints(counts)
+	out := counts[:0]
+	for i, n := range counts {
+		if i == 0 || n != counts[i-1] {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// BenchmarkSweepScaling runs the mixed-point sweep at 1/2/4/NumCPU
+// persistent workers (one sub-benchmark each), the raw numbers behind
+// the speedup and parallel-efficiency figures of BENCH_scaling.json.
+func BenchmarkSweepScaling(b *testing.B) {
+	const trials = 16
+	for _, workers := range scalingWorkerCounts(b) {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				runScalingSweep(b, workers, trials)
+			}
+		})
+	}
+}
+
+// TestEmitScalingBenchJSON writes BENCH_scaling.json when
+// BENCH_SCALING_JSON names the output path: per worker count, the
+// sweep's ns/op, speedup over the serial reference, and parallel
+// efficiency. Efficiency is utilization-normalized — speedup divided by
+// min(workers, NumCPU) — so oversubscribed runs (more workers than the
+// machine has cores) are judged on the cores that actually exist; the
+// machine's core count is recorded as num_cpu next to the entries.
+// benchguard -scaling compares these figures across commits.
+func TestEmitScalingBenchJSON(t *testing.T) {
+	path := os.Getenv("BENCH_SCALING_JSON")
+	if path == "" {
+		t.Skip("BENCH_SCALING_JSON not set")
+	}
+	const trials = 16
+	counts := scalingWorkerCounts(t)
+	measure := func(workers int) float64 {
+		res := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				runScalingSweep(b, workers, trials)
+			}
+		})
+		return float64(res.NsPerOp())
+	}
+	serial := measure(1)
+	type entry struct {
+		Workers    int     `json:"workers"`
+		NsPerOp    float64 `json:"ns_per_op"`
+		Speedup    float64 `json:"speedup"`
+		Efficiency float64 `json:"efficiency"`
+	}
+	entries := make([]entry, 0, len(counts))
+	for _, w := range counts {
+		ns := serial
+		if w != 1 {
+			ns = measure(w)
+		}
+		speedup := serial / ns
+		avail := w
+		if n := runtime.NumCPU(); avail > n {
+			avail = n
+		}
+		entries = append(entries, entry{
+			Workers:    w,
+			NsPerOp:    ns,
+			Speedup:    speedup,
+			Efficiency: speedup / float64(avail),
+		})
+	}
+	out := map[string]any{
+		"num_cpu": runtime.NumCPU(),
+		"trials":  trials,
+		"entries": entries,
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,23 +1,40 @@
-// Command benchguard compares a freshly measured BENCH_solvers.json
-// against the committed baseline and fails when a tracked entry's ns/op
-// regressed beyond the allowed factor — the CI tripwire that keeps the
-// refinement heuristics' compiled-objective speedups and the NoC
-// simulator's arena-engine speedup (the NoCSimSF/NoCSimCT rows, one per
-// switching mode) from silently rotting.
+// Command benchguard compares freshly measured benchmark JSON against
+// the committed baselines and fails when a tracked figure regressed
+// beyond the allowed factor — the CI tripwire that keeps the refinement
+// heuristics' compiled-objective speedups, the NoC simulator's
+// arena-engine speedup (the NoCSimSF/NoCSimCT rows, one per switching
+// mode), and the sweep scheduler's parallel efficiency from silently
+// rotting.
 //
 // Usage:
 //
 //	benchguard -baseline BENCH_solvers.json -current fresh.json -policies XYI,SA,NoCSimSF,NoCSimCT -factor 2
+//	benchguard -scaling fresh_scaling.json -scaling-baseline BENCH_scaling.json -eff-floor 0.5 -eff-factor 0.6
 //
-// By default each policy's ns/op is first normalized by the ns/op of the
-// -ref policy (XY) measured in the same file, so the guard compares how
-// much slower a policy is than the trivial baseline routing on the same
-// machine — absolute ns/op measured on different hardware (a committed
-// developer-machine baseline vs. a CI runner) would trip on machine speed
-// rather than code. Pass -ref "" to compare raw ns/op instead.
+// At least one of -current and -scaling is required; passing both runs
+// both checks in one invocation.
 //
-// Policies present in the list but missing from either file are an error:
-// a guard that silently skips its subjects guards nothing.
+// For the solver check, each policy's ns/op is first normalized by the
+// ns/op of the -ref policy (XY) measured in the same file, so the guard
+// compares how much slower a policy is than the trivial baseline routing
+// on the same machine — absolute ns/op measured on different hardware (a
+// committed developer-machine baseline vs. a CI runner) would trip on
+// machine speed rather than code. Pass -ref "" to compare raw ns/op
+// instead.
+//
+// The scaling check reads the parallel-efficiency figures emitted by
+// TestEmitScalingBenchJSON (speedup over the serial sweep divided by
+// min(workers, NumCPU)) and fails a multi-worker entry whose efficiency
+// fell below -eff-floor, or below -eff-factor times the committed
+// baseline's efficiency at the same worker count. Efficiency is already
+// a machine-relative ratio, so no reference normalization applies; the
+// baseline-relative factor is deliberately loose because efficiency on a
+// shared CI runner is noisy — the guard exists to catch the scheduler
+// serializing (efficiency collapsing toward 1/workers), not 10% jitter.
+//
+// Policies or worker counts present in the tracked set but missing from
+// either file are an error: a guard that silently skips its subjects
+// guards nothing.
 package main
 
 import (
@@ -35,47 +52,80 @@ type row struct {
 	BytesPerOp  int64   `json:"bytes_per_op"`
 }
 
+// scalingFile mirrors BENCH_scaling.json.
+type scalingFile struct {
+	NumCPU  int            `json:"num_cpu"`
+	Trials  int            `json:"trials"`
+	Entries []scalingEntry `json:"entries"`
+}
+
+type scalingEntry struct {
+	Workers    int     `json:"workers"`
+	NsPerOp    float64 `json:"ns_per_op"`
+	Speedup    float64 `json:"speedup"`
+	Efficiency float64 `json:"efficiency"`
+}
+
 func main() {
 	var (
-		baseline = flag.String("baseline", "BENCH_solvers.json", "committed baseline JSON")
-		current  = flag.String("current", "", "freshly measured JSON to check (required)")
+		baseline = flag.String("baseline", "BENCH_solvers.json", "committed solver baseline JSON")
+		current  = flag.String("current", "", "freshly measured solver JSON to check")
 		policies = flag.String("policies", "XYI,SA,NoCSimSF,NoCSimCT", "comma-separated policies to guard")
-		factor   = flag.Float64("factor", 2, "maximum allowed slowdown current/baseline")
+		factor   = flag.Float64("factor", 2, "maximum allowed solver slowdown current/baseline")
 		ref      = flag.String("ref", "XY", "reference policy that normalizes machine speed (empty = compare raw ns/op)")
+
+		scaling     = flag.String("scaling", "", "freshly measured scaling JSON to check")
+		scalingBase = flag.String("scaling-baseline", "BENCH_scaling.json", "committed scaling baseline JSON")
+		effFloor    = flag.Float64("eff-floor", 0.5, "minimum parallel efficiency for multi-worker entries")
+		effFactor   = flag.Float64("eff-factor", 0.6, "minimum fraction of the baseline's efficiency at the same worker count")
 	)
 	flag.Parse()
-	if *current == "" {
-		fmt.Fprintln(os.Stderr, "benchguard: -current is required")
+	if *current == "" && *scaling == "" {
+		fmt.Fprintln(os.Stderr, "benchguard: at least one of -current and -scaling is required")
 		os.Exit(2)
 	}
-	base, err := load(*baseline)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "benchguard:", err)
-		os.Exit(2)
+	failed := false
+	if *current != "" {
+		failed = checkSolvers(*baseline, *current, *policies, *ref, *factor) || failed
 	}
-	cur, err := load(*current)
+	if *scaling != "" {
+		failed = checkScaling(*scalingBase, *scaling, *effFloor, *effFactor) || failed
+	}
+	if failed {
+		fmt.Fprintln(os.Stderr, "benchguard: regression detected")
+		os.Exit(1)
+	}
+}
+
+// checkSolvers runs the per-policy ns/op comparison and reports whether
+// any tracked policy regressed beyond factor.
+func checkSolvers(baseline, current, policies, ref string, factor float64) bool {
+	base, err := load(baseline)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "benchguard:", err)
-		os.Exit(2)
+		fatal(err)
+	}
+	cur, err := load(current)
+	if err != nil {
+		fatal(err)
 	}
 	baseRef, curRef := 1.0, 1.0
 	unit := "ns/op"
-	if *ref != "" {
-		baseRef = nsOf(base, *ref, *baseline)
-		curRef = nsOf(cur, *ref, *current)
-		unit = "x " + *ref
+	if ref != "" {
+		baseRef = nsOf(base, ref, baseline)
+		curRef = nsOf(cur, ref, current)
+		unit = "x " + ref
 	}
 	failed := false
-	for _, p := range strings.Split(*policies, ",") {
+	for _, p := range strings.Split(policies, ",") {
 		p = strings.TrimSpace(p)
 		if p == "" {
 			continue
 		}
-		b := nsOf(base, p, *baseline) / baseRef
-		c := nsOf(cur, p, *current) / curRef
+		b := nsOf(base, p, baseline) / baseRef
+		c := nsOf(cur, p, current) / curRef
 		ratio := c / b
 		status := "ok"
-		if ratio > *factor {
+		if ratio > factor {
 			status = "REGRESSED"
 			failed = true
 		}
@@ -83,9 +133,61 @@ func main() {
 			p, b, unit, c, unit, ratio, status)
 	}
 	if failed {
-		fmt.Fprintf(os.Stderr, "benchguard: regression beyond %gx against %s\n", *factor, *baseline)
-		os.Exit(1)
+		fmt.Fprintf(os.Stderr, "benchguard: solver regression beyond %gx against %s\n", factor, baseline)
 	}
+	return failed
+}
+
+// checkScaling compares the current run's parallel efficiency per worker
+// count against the absolute floor and the committed baseline, and
+// reports whether any multi-worker entry regressed. Single-worker
+// entries are the serial reference (efficiency 1 by construction) and
+// are only printed.
+func checkScaling(baselinePath, currentPath string, floor, factor float64) bool {
+	base, err := loadScaling(baselinePath)
+	if err != nil {
+		fatal(err)
+	}
+	cur, err := loadScaling(currentPath)
+	if err != nil {
+		fatal(err)
+	}
+	baseEff := make(map[int]float64, len(base.Entries))
+	for _, e := range base.Entries {
+		baseEff[e.Workers] = e.Efficiency
+	}
+	failed := false
+	for _, e := range cur.Entries {
+		if e.Efficiency <= 0 {
+			fmt.Fprintf(os.Stderr, "benchguard: efficiency for workers=%d in %s is %g\n",
+				e.Workers, currentPath, e.Efficiency)
+			os.Exit(2)
+		}
+		if e.Workers <= 1 {
+			fmt.Printf("workers=%-3d efficiency %5.2f  (serial reference)\n", e.Workers, e.Efficiency)
+			continue
+		}
+		status := "ok"
+		limit := floor
+		if b, ok := baseEff[e.Workers]; ok && b*factor > limit {
+			limit = b * factor
+		}
+		if e.Efficiency < limit {
+			status = "REGRESSED"
+			failed = true
+		}
+		fmt.Printf("workers=%-3d efficiency %5.2f  floor %5.2f  %s\n",
+			e.Workers, e.Efficiency, limit, status)
+	}
+	if len(cur.Entries) == 0 {
+		fmt.Fprintf(os.Stderr, "benchguard: %s has no entries\n", currentPath)
+		os.Exit(2)
+	}
+	if failed {
+		fmt.Fprintf(os.Stderr, "benchguard: parallel efficiency below its floor (floor %g, %gx of %s)\n",
+			floor, factor, baselinePath)
+	}
+	return failed
 }
 
 // nsOf returns the policy's ns/op from the file's rows, exiting loudly
@@ -113,4 +215,21 @@ func load(path string) (map[string]row, error) {
 		return nil, fmt.Errorf("%s: %w", path, err)
 	}
 	return rows, nil
+}
+
+func loadScaling(path string) (scalingFile, error) {
+	var f scalingFile
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return f, err
+	}
+	if err := json.Unmarshal(data, &f); err != nil {
+		return f, fmt.Errorf("%s: %w", path, err)
+	}
+	return f, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchguard:", err)
+	os.Exit(2)
 }

@@ -57,6 +57,7 @@ func main() {
 		wmax    = flag.Float64("wmax", 0, "maximum weight Mb/s for -source sweeps (default 1500 when no -rate)")
 		rate    = flag.Float64("rate", 0, "fixed per-flow rate Mb/s for the pattern sources")
 		length  = flag.Int("length", 0, "exact Manhattan length for the random family")
+		workers = flag.Int("workers", 0, "persistent sweep workers on the work-stealing scheduler (0 = all cores); output is byte-identical at every worker count")
 		resume  = flag.Bool("resume", false, "resume an interrupted sweep from the streamed CSV in -csv (skips completed points)")
 		prog    = flag.Bool("progress", false, "report per-point progress on stderr")
 		cpuProf = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
@@ -68,7 +69,7 @@ func main() {
 		md: *md, policies: parseList(*pols), specFile: *spec, source: *source,
 		mesh: *meshGe, axis: *axis, points: *points, n: *nComms,
 		wmin: *wmin, wmax: *wmax, rate: *rate, length: *length,
-		resume: *resume, progress: *prog,
+		workers: *workers, resume: *resume, progress: *prog,
 	}))
 }
 
@@ -131,6 +132,7 @@ type cfg struct {
 	wmax     float64
 	rate     float64
 	length   int
+	workers  int
 	resume   bool
 	progress bool
 }
@@ -330,7 +332,7 @@ func (c cfg) runSweep(sp scenario.Spec) error {
 	if c.progress {
 		sinks = append(sinks, experiments.NewProgressSink(os.Stderr))
 	}
-	if err := experiments.Sweep(sp, experiments.SweepOptions{Start: start}, sinks...); err != nil {
+	if err := experiments.Sweep(sp, experiments.SweepOptions{Start: start, Workers: c.workers}, sinks...); err != nil {
 		return err
 	}
 	np, fr := ts.Tables()

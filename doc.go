@@ -53,6 +53,21 @@
 // (experiments.Sweep) over the pooled engine; the paper's figure panels
 // are canned Specs, pinned byte-identical to the historical output by
 // golden tests, and interrupted sweeps resume from their streamed CSV
-// checkpoint. See README.md for the quickstart, the policy and source
-// tables, the Spec schema, the package map and the pooling contracts.
+// checkpoint.
+//
+// Sweep execution is parallel by construction: a work-stealing scheduler
+// cuts the (point, trial) space into chunks on per-worker deques, and
+// one persistent worker per core owns its scratch — solver workspace,
+// load tracker, draw buffers, bound drawers — for the whole sweep, so
+// slow points spread across idle cores instead of serializing behind
+// per-point barriers. Parallelism is unobservable in the output: seeds
+// depend only on (panel seed, point, trial) and a merge stage releases
+// completed points to the sinks strictly in point order, so every
+// SweepOptions.Workers count (0 = all cores) streams byte-identical
+// CSV/JSONL and the Start resume contract is unchanged.
+// BenchmarkSweepScaling feeds the committed BENCH_scaling.json
+// (speedup and parallel efficiency per worker count) and
+// cmd/benchguard -scaling fails CI when efficiency regresses. See
+// README.md for the quickstart, the policy and source tables, the Spec
+// schema, the package map and the pooling contracts.
 package repro

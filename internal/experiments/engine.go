@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/comm"
 	"repro/internal/mesh"
@@ -15,13 +16,14 @@ import (
 
 // engine is the pooled trial runner behind Panel.Stream: the panel's
 // policy list resolved against the solve registry once, the workload
-// source resolved against the scenario registry once, plus a flat outcome
-// buffer reused across points so the per-trial path allocates nothing of
-// its own. Everything the engine layer touches — workload buffers, load
-// tracking, outcome storage — is per-worker scratch, and each worker also
-// carries a route.Workspace handed to the policies via Options.Workspace,
-// so solver-internal state (path slots, trackers, frontier bitsets) is
-// reused across trials too.
+// source resolved against the scenario registry once. Trials run on the
+// work-stealing scheduler (steal.go): one persistent worker per core
+// holds its scratch — solver workspace, load tracker, draw buffers,
+// bound drawers — for the whole sweep, pulling (point, trial) chunks
+// from per-worker deques with stealing, so slow points no longer
+// serialize behind fast ones and nothing is torn down at point
+// boundaries. Completed points flow through a merge stage that releases
+// them to the sinks strictly in point order.
 type engine struct {
 	m       *mesh.Mesh
 	model   power.Model
@@ -30,8 +32,6 @@ type engine struct {
 	solvers []solve.Solver
 	opts    solve.Options
 	trials  int
-	// outcomes is trials×len(solvers), row-major by trial, reused per point.
-	outcomes []instanceOutcome
 	// bestIdx/bestFrom implement the derived-BEST shortcut: when the list
 	// contains BEST alongside all six of its constituent heuristics, BEST's
 	// outcome is the min over their already-computed outcomes instead of
@@ -70,15 +70,14 @@ func newEngine(p Panel, trials int) (*engine, error) {
 		return nil, err
 	}
 	e := &engine{
-		m:        mesh.MustNew(mp, mq),
-		model:    p.model(),
-		src:      src,
-		names:    names,
-		solvers:  solvers,
-		opts:     solve.Options{Order: p.Order},
-		trials:   trials,
-		outcomes: make([]instanceOutcome, trials*len(solvers)),
-		bestIdx:  -1,
+		m:       mesh.MustNew(mp, mq),
+		model:   p.model(),
+		src:     src,
+		names:   names,
+		solvers: solvers,
+		opts:    solve.Options{Order: p.Order},
+		trials:  trials,
+		bestIdx: -1,
 	}
 	// Pre-validate every point's params so a sweep fails loudly before
 	// the first trial (e.g. a bit-defined permutation on a 6x6 mesh)
@@ -110,92 +109,197 @@ func newEngine(p Panel, trials int) (*engine, error) {
 	return e, nil
 }
 
-// scratch is one worker's private reusable state: the bound workload
-// drawer and set buffer of the engine layer, the evaluation tracker,
-// plus the dense solver workspace every policy routes into (so
-// solver-internal state — path slots, load trackers, frontier bitsets —
-// is reused across the worker's trials too).
-type scratch struct {
-	drawer scenario.Drawer
-	set    comm.Set
-	loads  *route.LoadTracker
-	ws     *route.Workspace
+// sweepScratch is one persistent worker's private state for a whole
+// sweep: the dense solver workspace and evaluation tracker live across
+// every point the worker touches (the per-point scratch rebuild the old
+// runner did is gone), and the per-point drawers bind lazily the first
+// time this worker pulls a chunk of a point, then stay cached for every
+// later chunk of it — drawers are reseeded per trial, so reuse across
+// interleaved points never changes a draw.
+type sweepScratch struct {
+	drawers []scenario.Drawer
+	set     comm.Set
+	loads   *route.LoadTracker
+	ws      *route.Workspace
 }
 
-// newScratch binds the engine's source for one point's params. Bind
-// errors are impossible here — newEngine pre-validated every point — so
-// they panic rather than plumb through the pooled loop.
-func (e *engine) newScratch(w Workload) *scratch {
+func (e *engine) newSweepScratch(npts int) *sweepScratch {
+	return &sweepScratch{
+		drawers: make([]scenario.Drawer, npts),
+		loads:   route.NewLoadTracker(e.m),
+		ws:      route.NewWorkspace(),
+	}
+}
+
+// drawer returns the worker's drawer for point pi, binding it on first
+// use. Bind errors are impossible here — newEngine pre-validated every
+// point — so they panic rather than plumb through the pooled loop.
+func (s *sweepScratch) drawer(e *engine, pi int, w Workload) scenario.Drawer {
+	if d := s.drawers[pi]; d != nil {
+		return d
+	}
 	d, err := e.src.Bind(e.m, w)
 	if err != nil {
 		panic(fmt.Sprintf("experiments: pre-validated bind failed: %v", err))
 	}
-	return &scratch{drawer: d, loads: route.NewLoadTracker(e.m), ws: route.NewWorkspace()}
+	s.drawers[pi] = d
+	return d
 }
 
 // trialSeed derives the deterministic per-trial seed: the historical
 // (panel seed, point, trial) formula, so refactors of the runner never
-// move the figures.
+// move the figures. Seeds depend on nothing else — which is what makes
+// the work-stealing execution order-independent.
 func trialSeed(panelSeed int64, point, trial int) int64 {
 	return panelSeed*1_000_003 + int64(point)*10_007 + int64(trial)
 }
 
-// draw regenerates the trial's communication set into the worker's buffer.
-func (s *scratch) draw(seed int64) (comm.Set, error) {
-	set, err := s.drawer.Draw(seed, s.set)
+// runTrial draws and evaluates one seeded trial of one point, writing
+// every policy's outcome into the trial's row.
+func (e *engine) runTrial(s *sweepScratch, panelSeed int64, pi, trial int, pt Point, row []instanceOutcome) error {
+	seed := trialSeed(panelSeed, pi, trial)
+	set, err := s.drawer(e, pi, pt.W).Draw(seed, s.set)
 	if err != nil {
-		return nil, err
+		return fmt.Errorf("experiments: point %d trial %d: %w", pi, trial, err)
 	}
 	s.set = set
-	return set, nil
+	in := solve.Instance{Mesh: e.m, Model: e.model, Comms: set}
+	opts := e.opts
+	opts.Seed = seed
+	opts.Workspace = s.ws
+	for si, solver := range e.solvers {
+		if si == e.bestIdx {
+			continue // derived below
+		}
+		r, err := solver.Route(in, opts)
+		if err != nil {
+			// Policies that prove infeasibility (OPT) or blow a search
+			// budget surface as errors; the panel counts them as
+			// failures, like the paper counts heuristic failures.
+			row[si] = instanceOutcome{}
+			continue
+		}
+		s.loads.SetRouting(r)
+		bd, ok := s.loads.Evaluate(e.model)
+		row[si] = instanceOutcome{feasible: ok, pow: bd.Total(), static: bd.Static}
+	}
+	e.deriveBest(row)
+	return nil
 }
 
-// runPoint evaluates every policy on every trial of one panel point,
-// filling e.outcomes. Trials are spread over a worker pool; each worker
-// owns its scratch, and outcome rows are disjoint per trial, so the loop
-// is race-free without locks on the happy path.
-func (e *engine) runPoint(panelSeed int64, pi int, pt Point) error {
-	npol := len(e.solvers)
-	var errMu sync.Mutex
-	var firstErr error
-	fail := func(err error) {
-		errMu.Lock()
-		if firstErr == nil {
-			firstErr = err
-		}
-		errMu.Unlock()
+// pointState tracks one in-flight point: the count of chunks still
+// outstanding and the point's outcome slab, acquired from the pool when
+// the first chunk opens it.
+type pointState struct {
+	once    sync.Once
+	pending atomic.Int32
+	rows    []instanceOutcome
+}
+
+// outcomePool recycles per-point outcome slabs (trials×npol rows):
+// merged points return their slab for the next point the scheduler
+// opens, so a sweep holds about as many slabs as it has points in
+// flight, however many points it sweeps.
+type outcomePool struct {
+	mu   sync.Mutex
+	free [][]instanceOutcome
+	size int
+}
+
+func (p *outcomePool) get() []instanceOutcome {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if n := len(p.free); n > 0 {
+		s := p.free[n-1]
+		p.free = p.free[:n-1]
+		return s
 	}
-	parallelScratch(e.trials, func() *scratch { return e.newScratch(pt.W) }, func(s *scratch, trial int) {
-		seed := trialSeed(panelSeed, pi, trial)
-		set, err := s.draw(seed)
-		if err != nil {
-			fail(fmt.Errorf("experiments: point %d trial %d: %w", pi, trial, err))
-			return
-		}
-		in := solve.Instance{Mesh: e.m, Model: e.model, Comms: set}
-		opts := e.opts
-		opts.Seed = seed
-		opts.Workspace = s.ws
-		row := e.outcomes[trial*npol : (trial+1)*npol]
-		for si, solver := range e.solvers {
-			if si == e.bestIdx {
-				continue // derived below
+	return make([]instanceOutcome, p.size)
+}
+
+func (p *outcomePool) put(s []instanceOutcome) {
+	p.mu.Lock()
+	p.free = append(p.free, s)
+	p.mu.Unlock()
+}
+
+// sweep schedules the panel's (point, trial) space from the start index
+// on the work-stealing fleet and hands each completed point's outcome
+// rows to emit strictly in point order — the merge stage behind the
+// byte-identical streaming contract: out-of-order completions buffer
+// until every earlier point has been released to the sinks. An emit
+// error aborts the fleet and is returned (after a trial error, which
+// takes precedence).
+func (e *engine) sweep(panelSeed int64, points []Point, start, workers int, emit func(pi int, rows []instanceOutcome) error) error {
+	npts := len(points)
+	if start >= npts {
+		return nil
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	npol := len(e.solvers)
+	csize := chunkTrials(e.trials, workers)
+	states := make([]pointState, npts)
+	var chunks []chunk
+	for pi := start; pi < npts; pi++ {
+		var n int
+		chunks, n = appendChunks(chunks, pi, e.trials, csize)
+		states[pi].pending.Store(int32(n))
+	}
+	pool := &outcomePool{size: e.trials * npol}
+
+	run := func(s *sweepScratch, c chunk) error {
+		st := &states[c.point]
+		st.once.Do(func() { st.rows = pool.get() })
+		pt := points[c.point]
+		for trial := c.lo; trial < c.hi; trial++ {
+			if err := e.runTrial(s, panelSeed, c.point, trial, pt, st.rows[trial*npol:(trial+1)*npol]); err != nil {
+				return err
 			}
-			r, err := solver.Route(in, opts)
-			if err != nil {
-				// Policies that prove infeasibility (OPT) or blow a search
-				// budget surface as errors; the panel counts them as
-				// failures, like the paper counts heuristic failures.
-				row[si] = instanceOutcome{}
-				continue
-			}
-			s.loads.SetRouting(r)
-			bd, ok := s.loads.Evaluate(e.model)
-			row[si] = instanceOutcome{feasible: ok, pow: bd.Total(), static: bd.Static}
 		}
-		e.deriveBest(row)
-	})
-	return firstErr
+		return nil
+	}
+
+	// completed receives each point index whose last chunk finished. The
+	// buffer holds every point, so workers never block on a slow sink —
+	// the merge loop below is the only consumer and may lag freely.
+	completed := make(chan int, npts-start)
+	done := func(c chunk) {
+		if states[c.point].pending.Add(-1) == 0 {
+			completed <- c.point
+		}
+	}
+
+	var sinkErr firstError
+	var schedErr error
+	sched := make(chan struct{})
+	go func() {
+		defer close(sched)
+		defer close(completed)
+		schedErr = runStealing(chunks, workers, sinkErr.Failed,
+			func() *sweepScratch { return e.newSweepScratch(npts) }, run, done)
+	}()
+
+	ready := make([]bool, npts)
+	next := start
+	for pi := range completed {
+		ready[pi] = true
+		for next < npts && ready[next] && !sinkErr.Failed() {
+			if err := emit(next, states[next].rows); err != nil {
+				sinkErr.Report(err)
+				break
+			}
+			pool.put(states[next].rows)
+			states[next].rows = nil
+			next++
+		}
+	}
+	<-sched
+	if schedErr != nil {
+		return schedErr
+	}
+	return sinkErr.Err()
 }
 
 // deriveBest fills the BEST entry of an outcome row from its constituent
@@ -219,9 +323,11 @@ func parallelFor(n int, f func(i int)) {
 }
 
 // parallelScratch runs f(s, 0..n-1) on up to GOMAXPROCS workers, each
-// owning one scratch value built by newScratch — the shape every
-// experiment loop shares: embarrassingly parallel trials over reusable
-// per-worker state.
+// owning one scratch value built by newScratch — the shape the simple
+// experiment loops share: embarrassingly parallel tasks over reusable
+// per-worker state. Indexes are handed out in chunks off one atomic
+// cursor; the historical unbuffered-channel handoff cost one goroutine
+// rendezvous per index.
 func parallelScratch[S any](n int, newScratch func() S, f func(s S, i int)) {
 	workers := runtime.GOMAXPROCS(0)
 	if workers > n {
@@ -234,21 +340,28 @@ func parallelScratch[S any](n int, newScratch func() S, f func(s S, i int)) {
 		}
 		return
 	}
+	csize := chunkTrials(n, workers)
+	var cursor atomic.Int64
 	var wg sync.WaitGroup
-	next := make(chan int)
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
 			s := newScratch()
-			for i := range next {
-				f(s, i)
+			for {
+				lo := int(cursor.Add(int64(csize))) - csize
+				if lo >= n {
+					return
+				}
+				hi := lo + csize
+				if hi > n {
+					hi = n
+				}
+				for i := lo; i < hi; i++ {
+					f(s, i)
+				}
 			}
 		}()
 	}
-	for i := 0; i < n; i++ {
-		next <- i
-	}
-	close(next)
 	wg.Wait()
 }

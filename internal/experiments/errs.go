@@ -1,0 +1,42 @@
+package experiments
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// firstError collects the first error reported across concurrent
+// workers — the one shared implementation of the errMu/firstErr pattern
+// the parallel runners used to copy-paste. Report keeps the earliest
+// error and drops the rest; Failed is the lock-free fast check workers
+// poll to stop early once anything went wrong.
+type firstError struct {
+	mu     sync.Mutex
+	failed atomic.Bool
+	err    error
+}
+
+// Report records err as the first error if none is held yet. nil errors
+// are ignored, so callers can report unconditionally.
+func (f *firstError) Report(err error) {
+	if err == nil {
+		return
+	}
+	f.mu.Lock()
+	if f.err == nil {
+		f.err = err
+		f.failed.Store(true)
+	}
+	f.mu.Unlock()
+}
+
+// Failed reports whether any error has been recorded. It is cheap enough
+// to poll on hot loops (one atomic load, no lock).
+func (f *firstError) Failed() bool { return f.failed.Load() }
+
+// Err returns the recorded first error, or nil.
+func (f *firstError) Err() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.err
+}

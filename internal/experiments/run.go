@@ -100,6 +100,12 @@ type SweepOptions struct {
 	// restarted at the checkpointed point index streams exactly the
 	// output an uninterrupted run would have produced from that point on.
 	Start int
+	// Workers is the number of persistent scheduler workers the sweep
+	// runs on (0 = GOMAXPROCS). Per-trial seeds depend only on
+	// (seed, point, trial) and the merge stage releases points to the
+	// sinks strictly in point order, so every worker count — including
+	// the serial Workers=1 reference — streams byte-identical output.
+	Workers int
 }
 
 // Sweep expands a declarative spec and streams its evaluation point by
@@ -116,9 +122,10 @@ func Sweep(sp scenario.Spec, opt SweepOptions, sinks ...Sink) error {
 	return p.Stream(opt, sinks...)
 }
 
-// Stream runs the panel through the pooled engine, emitting each
-// evaluated point to the sinks in order. It is the core every runner
-// shares: Sweep feeds it specs, Run collects its stream into a Result.
+// Stream runs the panel through the pooled engine on the work-stealing
+// scheduler, emitting each evaluated point to the sinks in point order.
+// It is the core every runner shares: Sweep feeds it specs, Run collects
+// its stream into a Result.
 func (p Panel) Stream(opt SweepOptions, sinks ...Sink) error {
 	trials := p.Trials
 	if trials == 0 {
@@ -146,19 +153,19 @@ func (p Panel) Stream(opt SweepOptions, sinks ...Sink) error {
 		}
 	}
 	npol := len(e.solvers)
-	for pi := opt.Start; pi < len(p.Points); pi++ {
-		pt := p.Points[pi]
-		if err := e.runPoint(p.Seed, pi, pt); err != nil {
-			return err
-		}
-		pr := reducePoint(pi, pt.X, npol, trials, func(trial int) []instanceOutcome {
-			return e.outcomes[trial*npol : (trial+1)*npol]
+	err = e.sweep(p.Seed, p.Points, opt.Start, opt.Workers, func(pi int, rows []instanceOutcome) error {
+		pr := reducePoint(pi, p.Points[pi].X, npol, trials, func(trial int) []instanceOutcome {
+			return rows[trial*npol : (trial+1)*npol]
 		})
 		for _, sk := range sinks {
 			if err := sk.Point(pr); err != nil {
 				return err
 			}
 		}
+		return nil
+	})
+	if err != nil {
+		return err
 	}
 	for _, sk := range sinks {
 		if err := sk.End(); err != nil {
@@ -243,10 +250,22 @@ func (p Panel) RunE() (Result, error) {
 // generator, a fresh evaluation, fresh outcome rows — instead of reusing
 // worker scratch. It exists so the repository benchmarks can quantify the
 // pooled engine against it and tests can cross-check that pooling never
-// changes a figure.
+// changes a figure. It panics on any error; RunBaselineE reports them.
 func (p Panel) RunBaseline() Result {
+	res, err := p.RunBaselineE()
+	if err != nil {
+		panic(err)
+	}
+	return res
+}
+
+// RunBaselineE is RunBaseline surfacing setup and draw errors instead of
+// panicking. Draw errors historically panicked inside worker goroutines,
+// where no recover can reach them — they crashed the process; now the
+// first one halts the workers and is returned.
+func (p Panel) RunBaselineE() (Result, error) {
 	if p.Source != "" && p.Source != "uniform" {
-		panic(fmt.Sprintf("experiments: RunBaseline supports only the uniform source, not %q", p.Source))
+		return Result{}, fmt.Errorf("experiments: RunBaseline supports only the uniform source, not %q", p.Source)
 	}
 	trials := p.Trials
 	if trials == 0 {
@@ -254,22 +273,27 @@ func (p Panel) RunBaseline() Result {
 	}
 	e, err := newEngine(p, trials)
 	if err != nil {
-		panic(err)
+		return Result{}, err
 	}
 	npol := len(e.solvers)
 	rs := &resultSink{}
 	meta := SweepMeta{ID: p.ID, Title: p.Title, XLabel: p.XLabel,
 		Policies: e.names, X: xValues(p.Points), Trials: trials}
 	if err := rs.Begin(meta); err != nil {
-		panic(err)
+		return Result{}, err
 	}
+	var ferr firstError
 	for pi, pt := range p.Points {
 		outcomes := make([][]instanceOutcome, trials)
 		parallelFor(trials, func(trial int) {
+			if ferr.Failed() {
+				return
+			}
 			seed := trialSeed(p.Seed, pi, trial)
 			set, err := drawSet(e.m, seed, pt.W)
 			if err != nil {
-				panic(err)
+				ferr.Report(fmt.Errorf("experiments: point %d trial %d: %w", pi, trial, err))
+				return
 			}
 			in := solve.Instance{Mesh: e.m, Model: e.model, Comms: set}
 			opts := e.opts
@@ -289,15 +313,18 @@ func (p Panel) RunBaseline() Result {
 			e.deriveBest(row)
 			outcomes[trial] = row
 		})
+		if err := ferr.Err(); err != nil {
+			return Result{}, err
+		}
 		pr := reducePoint(pi, pt.X, npol, trials, func(trial int) []instanceOutcome {
 			return outcomes[trial]
 		})
 		if err := rs.Point(pr); err != nil {
-			panic(err)
+			return Result{}, err
 		}
 	}
 	rs.result.Panel = p
-	return rs.result
+	return rs.result, nil
 }
 
 // drawSet draws one instance of a workload with a throwaway generator

@@ -3,7 +3,7 @@ package experiments
 import (
 	"fmt"
 	"math"
-	"sync"
+	"runtime"
 	"time"
 
 	"repro/internal/comm"
@@ -160,36 +160,38 @@ func RunSummaryWith(trialsPerPoint int, seed int64, policies []string) (Summary,
 	newScratch := func() *sumScratch {
 		return &sumScratch{gen: workload.New(m, 0), loads: route.NewLoadTracker(m), ws: route.NewWorkspace()}
 	}
-	var errMu sync.Mutex
-	var firstErr error
-	parallelScratch(len(tasks), newScratch, func(s *sumScratch, ti int) {
-		set, err := scenario.DrawRandom(s.gen, tasks[ti].seed, tasks[ti].w, s.set)
-		if err != nil {
-			errMu.Lock()
-			if firstErr == nil {
-				firstErr = err
-			}
-			errMu.Unlock()
-			return
-		}
-		s.set = set
-		in := solve.Instance{Mesh: m, Model: model, Comms: set}
-		o := outcome{perHeur: make([]instanceOutcome, len(solvers)), times: make([]time.Duration, len(solvers))}
-		for hi, sv := range solvers {
-			start := time.Now()
-			r, err := sv.Route(in, solve.Options{Workspace: s.ws})
-			o.times[hi] = time.Since(start)
+	// The flat task list runs on the sweeps' work-stealing scheduler as a
+	// single point's trial range: persistent per-worker scratch, chunked
+	// deques, stealing when a worker drains — and the scheduler's
+	// first-error handling halts the fleet on a draw failure.
+	workers := runtime.GOMAXPROCS(0)
+	chunks, _ := appendChunks(nil, 0, len(tasks), chunkTrials(len(tasks), workers))
+	err := runStealing(chunks, workers, nil, newScratch, func(s *sumScratch, c chunk) error {
+		for ti := c.lo; ti < c.hi; ti++ {
+			set, err := scenario.DrawRandom(s.gen, tasks[ti].seed, tasks[ti].w, s.set)
 			if err != nil {
-				continue
+				return err
 			}
-			s.loads.SetRouting(r)
-			bd, ok := s.loads.Evaluate(model)
-			o.perHeur[hi] = instanceOutcome{feasible: ok, pow: bd.Total(), static: bd.Static}
+			s.set = set
+			in := solve.Instance{Mesh: m, Model: model, Comms: set}
+			o := outcome{perHeur: make([]instanceOutcome, len(solvers)), times: make([]time.Duration, len(solvers))}
+			for hi, sv := range solvers {
+				start := time.Now()
+				r, err := sv.Route(in, solve.Options{Workspace: s.ws})
+				o.times[hi] = time.Since(start)
+				if err != nil {
+					continue
+				}
+				s.loads.SetRouting(r)
+				bd, ok := s.loads.Evaluate(model)
+				o.perHeur[hi] = instanceOutcome{feasible: ok, pow: bd.Total(), static: bd.Static}
+			}
+			outs[ti] = o
 		}
-		outs[ti] = o
-	})
-	if firstErr != nil {
-		return Summary{}, firstErr
+		return nil
+	}, nil)
+	if err != nil {
+		return Summary{}, err
 	}
 
 	success := make(map[string]*stats.Ratio)

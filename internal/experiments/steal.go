@@ -1,0 +1,187 @@
+package experiments
+
+import (
+	"sync"
+)
+
+// chunk is the work-stealing scheduler's unit of work: the contiguous
+// trial range [lo, hi) of one sweep point. Sweeps schedule the whole
+// (point, trial) space as one flat chunk list, so a slow point's trials
+// spread over every idle worker instead of serializing behind a per-point
+// barrier; flat task lists (the §6.4 summary) schedule as a single
+// point's range.
+type chunk struct {
+	point  int
+	lo, hi int
+}
+
+// appendChunks appends the chunks of one point's n trials, size trials
+// each (the last one ragged), and returns the extended list plus the
+// number of chunks appended.
+func appendChunks(dst []chunk, point, n, size int) ([]chunk, int) {
+	added := 0
+	for lo := 0; lo < n; lo += size {
+		hi := lo + size
+		if hi > n {
+			hi = n
+		}
+		dst = append(dst, chunk{point: point, lo: lo, hi: hi})
+		added++
+	}
+	return dst, added
+}
+
+// chunkTrials picks the scheduling granularity for n trials on w
+// workers: small enough that one point splits across the fleet (~4
+// chunks per worker per point), large enough that deque traffic stays
+// noise next to a solve.
+func chunkTrials(n, w int) int {
+	if w < 1 {
+		w = 1
+	}
+	c := n / (w * 4)
+	if c < 1 {
+		c = 1
+	}
+	return c
+}
+
+// deque is one worker's chunk queue. The owner pops from the front — so
+// early points drain first and the merge stage releases them early —
+// and thieves steal from the back. Chunks are coarse (several full
+// solves each), so a mutex per deque costs nothing measurable and stays
+// trivially race-free; a lock-free Chase-Lev deque would buy latency the
+// workload cannot observe.
+type deque struct {
+	mu     sync.Mutex
+	chunks []chunk
+	head   int
+}
+
+func (d *deque) size() int {
+	d.mu.Lock()
+	n := len(d.chunks) - d.head
+	d.mu.Unlock()
+	return n
+}
+
+func (d *deque) popFront() (chunk, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.head >= len(d.chunks) {
+		return chunk{}, false
+	}
+	c := d.chunks[d.head]
+	d.head++
+	return c, true
+}
+
+func (d *deque) popBack() (chunk, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.head >= len(d.chunks) {
+		return chunk{}, false
+	}
+	c := d.chunks[len(d.chunks)-1]
+	d.chunks = d.chunks[:len(d.chunks)-1]
+	return c, true
+}
+
+// stealTestHook, when non-nil, runs before every chunk execution with
+// the executing worker's index. Tests use it to randomize chunk
+// completion order and to observe stealing; it must never be set outside
+// tests.
+var stealTestHook func(worker int, c chunk)
+
+// runStealing executes every chunk exactly once on workers persistent
+// goroutines. Each worker owns one scratch built once and kept for its
+// whole lifetime — workspaces, trackers and draw buffers survive across
+// points — and pulls chunks from its own deque, stealing from the
+// longest other deque when its own drains. The first error returned by
+// run halts the fleet and is returned; stop, when non-nil, is polled
+// between chunks so an external consumer (the sweep's merge stage) can
+// abort. done, when non-nil, runs after every successfully executed
+// chunk, on the worker that ran it.
+func runStealing[S any](chunks []chunk, workers int, stop func() bool, newScratch func() S, run func(s S, c chunk) error, done func(c chunk)) error {
+	if len(chunks) == 0 {
+		return nil
+	}
+	if workers > len(chunks) {
+		workers = len(chunks)
+	}
+	var ferr firstError
+	halted := func() bool {
+		return ferr.Failed() || (stop != nil && stop())
+	}
+	exec := func(worker int, s S, c chunk) bool {
+		if stealTestHook != nil {
+			stealTestHook(worker, c)
+		}
+		if err := run(s, c); err != nil {
+			ferr.Report(err)
+			return false
+		}
+		if done != nil {
+			done(c)
+		}
+		return true
+	}
+	if workers <= 1 {
+		s := newScratch()
+		for _, c := range chunks {
+			if halted() || !exec(0, s, c) {
+				break
+			}
+		}
+		return ferr.Err()
+	}
+	deques := make([]deque, workers)
+	for i, c := range chunks {
+		d := &deques[i%workers]
+		d.chunks = append(d.chunks, c)
+	}
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			s := newScratch()
+			for !halted() {
+				c, ok := deques[w].popFront()
+				if !ok {
+					c, ok = steal(deques, w)
+				}
+				if !ok {
+					return // every deque is empty: the sweep is drained
+				}
+				if !exec(w, s, c) {
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	return ferr.Err()
+}
+
+// steal takes the last-queued chunk of the fullest victim deque,
+// rescanning when a victim drains between the size probe and the pop.
+func steal(deques []deque, self int) (chunk, bool) {
+	for {
+		victim, best := -1, 0
+		for i := range deques {
+			if i == self {
+				continue
+			}
+			if n := deques[i].size(); n > best {
+				victim, best = i, n
+			}
+		}
+		if victim < 0 {
+			return chunk{}, false
+		}
+		if c, ok := deques[victim].popBack(); ok {
+			return c, true
+		}
+	}
+}
