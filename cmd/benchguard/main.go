@@ -10,9 +10,10 @@
 //
 //	benchguard -baseline BENCH_solvers.json -current fresh.json -policies XYI,SA,NoCSimSF,NoCSimCT -factor 2
 //	benchguard -scaling fresh_scaling.json -scaling-baseline BENCH_scaling.json -eff-floor 0.5 -eff-factor 0.6
+//	benchguard -serve fresh_serve.json -serve-baseline BENCH_serve.json -serve-factor 3 -hit-speedup 2
 //
-// At least one of -current and -scaling is required; passing both runs
-// both checks in one invocation.
+// At least one of -current, -scaling and -serve is required; passing
+// several runs every requested check in one invocation.
 //
 // For the solver check, each policy's ns/op is first normalized by the
 // ns/op of the -ref policy (XY) measured in the same file, so the guard
@@ -32,9 +33,21 @@
 // shared CI runner is noisy — the guard exists to catch the scheduler
 // serializing (efficiency collapsing toward 1/workers), not 10% jitter.
 //
-// Policies or worker counts present in the tracked set but missing from
-// either file are an error: a guard that silently skips its subjects
-// guards nothing.
+// The serve check reads the latency report emitted by
+// TestEmitServeBenchJSON (BENCH_serve.json): per-path p50 latencies for
+// the single-solve endpoint, a cold sweep execution, and a warm cache
+// hit. Each p50 is first divided by the file's own ref_solve_ns (a warmed
+// XY solve measured in the same run — the machine-speed proxy), so the
+// committed baseline compares against a CI runner by relative cost; a
+// path fails when its normalized p50 exceeds -serve-factor times the
+// baseline's. The -hit-speedup floor is machine-independent within one
+// file: the current run's cold p50 over its hit p50 must stay above the
+// floor, the latency guardrail proving a warm hit actually bypasses the
+// sweep engine.
+//
+// Policies, worker counts, or serve paths present in the tracked set but
+// missing from either file are an error: a guard that silently skips its
+// subjects guards nothing.
 package main
 
 import (
@@ -66,11 +79,27 @@ type scalingEntry struct {
 	Efficiency float64 `json:"efficiency"`
 }
 
+// serveFile mirrors BENCH_serve.json; loadReport the per-path figures.
+type serveFile struct {
+	RefSolveNS float64    `json:"ref_solve_ns"`
+	Solve      loadReport `json:"solve"`
+	SweepCold  loadReport `json:"sweep_cold"`
+	SweepHit   loadReport `json:"sweep_hit"`
+}
+
+type loadReport struct {
+	Requests      int     `json:"requests"`
+	Errors        int     `json:"errors"`
+	ThroughputRPS float64 `json:"throughput_rps"`
+	P50NS         float64 `json:"p50_ns"`
+	P99NS         float64 `json:"p99_ns"`
+}
+
 func main() {
 	var (
 		baseline = flag.String("baseline", "BENCH_solvers.json", "committed solver baseline JSON")
 		current  = flag.String("current", "", "freshly measured solver JSON to check")
-		policies = flag.String("policies", "XYI,SA,NoCSimSF,NoCSimCT", "comma-separated policies to guard")
+		policies = flag.String("policies", "XYI,SA,2MP,4MP,NoCSimSF,NoCSimCT", "comma-separated policies to guard")
 		factor   = flag.Float64("factor", 2, "maximum allowed solver slowdown current/baseline")
 		ref      = flag.String("ref", "XY", "reference policy that normalizes machine speed (empty = compare raw ns/op)")
 
@@ -78,10 +107,15 @@ func main() {
 		scalingBase = flag.String("scaling-baseline", "BENCH_scaling.json", "committed scaling baseline JSON")
 		effFloor    = flag.Float64("eff-floor", 0.5, "minimum parallel efficiency for multi-worker entries")
 		effFactor   = flag.Float64("eff-factor", 0.6, "minimum fraction of the baseline's efficiency at the same worker count")
+
+		serveCur    = flag.String("serve", "", "freshly measured serve latency JSON to check")
+		serveBase   = flag.String("serve-baseline", "BENCH_serve.json", "committed serve latency baseline JSON")
+		serveFactor = flag.Float64("serve-factor", 3, "maximum allowed normalized-p50 slowdown per serve path")
+		hitSpeedup  = flag.Float64("hit-speedup", 2, "minimum cold-sweep-p50 over cache-hit-p50 in the current serve JSON")
 	)
 	flag.Parse()
-	if *current == "" && *scaling == "" {
-		fmt.Fprintln(os.Stderr, "benchguard: at least one of -current and -scaling is required")
+	if *current == "" && *scaling == "" && *serveCur == "" {
+		fmt.Fprintln(os.Stderr, "benchguard: at least one of -current, -scaling and -serve is required")
 		os.Exit(2)
 	}
 	failed := false
@@ -90,6 +124,9 @@ func main() {
 	}
 	if *scaling != "" {
 		failed = checkScaling(*scalingBase, *scaling, *effFloor, *effFactor) || failed
+	}
+	if *serveCur != "" {
+		failed = checkServe(*serveBase, *serveCur, *serveFactor, *hitSpeedup) || failed
 	}
 	if failed {
 		fmt.Fprintln(os.Stderr, "benchguard: regression detected")
@@ -188,6 +225,83 @@ func checkScaling(baselinePath, currentPath string, floor, factor float64) bool 
 			floor, factor, baselinePath)
 	}
 	return failed
+}
+
+// checkServe compares the current serve run's per-path p50 latencies,
+// normalized by each file's own ref_solve_ns, against the committed
+// baseline, and enforces the cache-hit speedup floor within the current
+// file. Reports whether anything regressed.
+func checkServe(baselinePath, currentPath string, factor, hitFloor float64) bool {
+	base, err := loadServe(baselinePath)
+	if err != nil {
+		fatal(err)
+	}
+	cur, err := loadServe(currentPath)
+	if err != nil {
+		fatal(err)
+	}
+	failed := false
+	paths := []struct {
+		name      string
+		base, cur loadReport
+	}{
+		{"solve", base.Solve, cur.Solve},
+		{"sweep_cold", base.SweepCold, cur.SweepCold},
+		{"sweep_hit", base.SweepHit, cur.SweepHit},
+	}
+	for _, p := range paths {
+		for _, f := range []struct {
+			path string
+			rep  loadReport
+		}{{baselinePath, p.base}, {currentPath, p.cur}} {
+			if f.rep.P50NS <= 0 {
+				fmt.Fprintf(os.Stderr, "benchguard: p50 for %q in %s is %g\n", p.name, f.path, f.rep.P50NS)
+				os.Exit(2)
+			}
+			if f.rep.Errors > 0 {
+				fmt.Fprintf(os.Stderr, "benchguard: %s measured %q with %d errors\n", f.path, p.name, f.rep.Errors)
+				os.Exit(2)
+			}
+		}
+		b := p.base.P50NS / base.RefSolveNS
+		c := p.cur.P50NS / cur.RefSolveNS
+		ratio := c / b
+		status := "ok"
+		if ratio > factor {
+			status = "REGRESSED"
+			failed = true
+		}
+		fmt.Printf("%-10s baseline p50 %10.1f x ref  current p50 %10.1f x ref  ratio %5.2f  %s\n",
+			p.name, b, c, ratio, status)
+	}
+	speedup := cur.SweepCold.P50NS / cur.SweepHit.P50NS
+	status := "ok"
+	if speedup < hitFloor {
+		status = "REGRESSED"
+		failed = true
+	}
+	fmt.Printf("cache-hit speedup %5.1fx (cold p50 / hit p50)  floor %gx  %s\n", speedup, hitFloor, status)
+	if failed {
+		fmt.Fprintf(os.Stderr, "benchguard: serve latency regression (factor %g, hit floor %gx) against %s\n",
+			factor, hitFloor, baselinePath)
+	}
+	return failed
+}
+
+// loadServe reads and sanity-checks a serve latency file.
+func loadServe(path string) (serveFile, error) {
+	var f serveFile
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return f, err
+	}
+	if err := json.Unmarshal(data, &f); err != nil {
+		return f, fmt.Errorf("%s: %w", path, err)
+	}
+	if f.RefSolveNS <= 0 {
+		return f, fmt.Errorf("%s: ref_solve_ns is %g", path, f.RefSolveNS)
+	}
+	return f, nil
 }
 
 // nsOf returns the policy's ns/op from the file's rows, exiting loudly

@@ -1,0 +1,94 @@
+// Command routed serves the routing engine over HTTP: single solves on a
+// sharded pool of workers with persistent pooled scratch, and declarative
+// scenario sweeps streamed back as JSON lines with content-hash caching
+// and singleflight collapsing of identical submissions (see
+// internal/serve for the endpoint contracts).
+//
+// Usage:
+//
+//	routed -addr :8077
+//	routed -addr :8077 -shards 8 -max-sweeps 4 -cache 128 -max-trials 1000
+//
+// SIGINT/SIGTERM trigger a graceful stop: the listener closes, in-flight
+// solves and sweep streams run to completion (bounded by -grace), queued
+// solve jobs are drained, and the final stats counters are logged.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/serve"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8077", "listen address")
+		shards    = flag.Int("shards", 0, "solve worker shards, each with persistent pooled scratch (0 = all cores)")
+		queue     = flag.Int("queue", 0, "per-shard pending-solve bound before 503 backpressure (0 = 64)")
+		sweepW    = flag.Int("sweep-workers", 0, "work-stealing workers per sweep run (0 = all cores)")
+		maxSweeps = flag.Int("max-sweeps", 0, "concurrently executing sweeps (0 = 2)")
+		cacheN    = flag.Int("cache", 0, "completed sweeps kept in the LRU cache (0 = 64)")
+		maxTrials = flag.Int("max-trials", 0, "reject sweep specs above this trials/point (0 = unlimited)")
+		grace     = flag.Duration("grace", 5*time.Minute, "graceful-shutdown bound for in-flight requests (0 = wait forever)")
+	)
+	flag.Parse()
+	if err := run(*addr, *shards, *queue, *sweepW, *maxSweeps, *cacheN, *maxTrials, *grace); err != nil {
+		fmt.Fprintln(os.Stderr, "routed:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, shards, queue, sweepW, maxSweeps, cacheN, maxTrials int, grace time.Duration) error {
+	srv := serve.New(serve.Config{
+		SolveShards:  shards,
+		ShardQueue:   queue,
+		SweepWorkers: sweepW,
+		MaxSweeps:    maxSweeps,
+		CacheEntries: cacheN,
+		MaxTrials:    maxTrials,
+	})
+	hs := &http.Server{Addr: addr, Handler: srv.Handler()}
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("routed: listening on %s", addr)
+		errc <- hs.ListenAndServe()
+	}()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		srv.Close()
+		return err
+	case s := <-sig:
+		log.Printf("routed: %v, draining", s)
+	}
+
+	ctx := context.Background()
+	if grace > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, grace)
+		defer cancel()
+	}
+	// Shutdown returns once every in-flight handler — including sweep
+	// streams — has completed; Close then drains the queued solve jobs.
+	shutdownErr := hs.Shutdown(ctx)
+	srv.Close()
+	st := srv.Stats()
+	log.Printf("routed: drained (solves=%d rejects=%d sweeps=%d hits=%d misses=%d attaches=%d)",
+		st.Solves, st.SolveRejects, st.SweepsRun, st.CacheHits, st.CacheMisses, st.CacheAttaches)
+	if shutdownErr != nil && !errors.Is(shutdownErr, context.DeadlineExceeded) {
+		return shutdownErr
+	}
+	return nil
+}

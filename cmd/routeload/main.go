@@ -1,0 +1,176 @@
+// Command routeload hammers a running routed server with concurrent
+// clients and reports throughput and latency percentiles as JSON.
+//
+// Two modes:
+//
+//   - solve: every request POSTs the same randomly generated
+//     communication set to /solve — the steady-state single-solve path.
+//   - sweep: every request POSTs the spec file to /sweep. The first
+//     request runs the sweep; the rest collapse onto it (singleflight)
+//     or replay the cached bytes, and every response is checked
+//     byte-identical to the first — the cache's service-level contract,
+//     verified from the outside.
+//
+// Usage:
+//
+//	routeload -url http://localhost:8077 -mode solve -clients 100 -requests 10000
+//	routeload -url http://localhost:8077 -mode sweep -spec examples/specs/smoke.json -clients 50 -requests 500
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sync"
+
+	"repro/internal/mesh"
+	"repro/internal/serve"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		url      = flag.String("url", "http://localhost:8077", "routed base URL")
+		mode     = flag.String("mode", "solve", "workload: solve or sweep")
+		clients  = flag.Int("clients", 64, "concurrent clients")
+		requests = flag.Int("requests", 1000, "total requests across all clients")
+		spec     = flag.String("spec", "", "sweep spec JSON file (sweep mode)")
+		meshGeo  = flag.String("mesh", "8x8", "mesh geometry for solve mode")
+		n        = flag.Int("n", 20, "communications per solve request")
+		wmin     = flag.Float64("wmin", 100, "minimum weight Mb/s")
+		wmax     = flag.Float64("wmax", 1200, "maximum weight Mb/s")
+		policy   = flag.String("policy", "XYI", "routing policy for solve mode")
+		seed     = flag.Int64("seed", 1, "workload seed for solve mode")
+		out      = flag.String("json", "", "write the report JSON to this file (default stdout)")
+	)
+	flag.Parse()
+	if err := run(*url, *mode, *clients, *requests, *spec, *meshGeo, *n, *wmin, *wmax, *policy, *seed, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "routeload:", err)
+		os.Exit(1)
+	}
+}
+
+// report is the emitted document: the generic load numbers plus what was
+// loaded.
+type report struct {
+	Mode string `json:"mode"`
+	URL  string `json:"url"`
+	serve.LoadReport
+	Mismatches int `json:"mismatches,omitempty"`
+}
+
+func run(url, mode string, clients, requests int, specFile, meshGeo string, n int, wmin, wmax float64, policy string, seed int64, out string) error {
+	client := &http.Client{Transport: &http.Transport{
+		MaxIdleConns:        clients,
+		MaxIdleConnsPerHost: clients,
+	}}
+	rep := report{Mode: mode, URL: url}
+	switch mode {
+	case "solve":
+		body, err := solveBody(meshGeo, n, wmin, wmax, policy, seed)
+		if err != nil {
+			return err
+		}
+		rep.LoadReport = serve.RunLoad(serve.LoadConfig{Clients: clients, Requests: requests}, func(_, _ int) error {
+			return post(client, url+"/solve", body, nil)
+		})
+	case "sweep":
+		if specFile == "" {
+			return fmt.Errorf("sweep mode needs -spec")
+		}
+		body, err := os.ReadFile(specFile)
+		if err != nil {
+			return err
+		}
+		var (
+			mu         sync.Mutex
+			reference  []byte
+			mismatches int
+		)
+		rep.LoadReport = serve.RunLoad(serve.LoadConfig{Clients: clients, Requests: requests}, func(_, _ int) error {
+			return post(client, url+"/sweep", body, func(resp []byte) error {
+				mu.Lock()
+				defer mu.Unlock()
+				if reference == nil {
+					reference = resp
+					return nil
+				}
+				if !bytes.Equal(resp, reference) {
+					mismatches++
+					return fmt.Errorf("sweep response differs from the first response")
+				}
+				return nil
+			})
+		})
+		rep.Mismatches = mismatches
+	default:
+		return fmt.Errorf("unknown mode %q (want solve or sweep)", mode)
+	}
+
+	w := os.Stdout
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		return err
+	}
+	if rep.Errors > 0 {
+		return fmt.Errorf("%d/%d requests failed", rep.Errors, rep.Requests)
+	}
+	return nil
+}
+
+// solveBody builds the one solve request every client repeats.
+func solveBody(meshGeo string, n int, wmin, wmax float64, policy string, seed int64) ([]byte, error) {
+	var p, q int
+	if _, err := fmt.Sscanf(meshGeo, "%dx%d", &p, &q); err != nil {
+		return nil, fmt.Errorf("bad mesh %q: %v", meshGeo, err)
+	}
+	m, err := mesh.New(p, q)
+	if err != nil {
+		return nil, err
+	}
+	set := workload.New(m, seed).Uniform(n, wmin, wmax)
+	req := serve.SolveRequest{Mesh: meshGeo, Policy: policy}
+	for _, c := range set {
+		req.Comms = append(req.Comms, serve.SolveComm{
+			ID:   c.ID,
+			Src:  [2]int{c.Src.U, c.Src.V},
+			Dst:  [2]int{c.Dst.U, c.Dst.V},
+			Rate: c.Rate,
+		})
+	}
+	return json.Marshal(req)
+}
+
+// post issues one request, draining the body; check, when non-nil,
+// receives the full response bytes.
+func post(client *http.Client, url string, body []byte, check func([]byte) error) error {
+	resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("status %d: %s", resp.StatusCode, data)
+	}
+	if check != nil {
+		return check(data)
+	}
+	return nil
+}

@@ -67,7 +67,20 @@
 // CSV/JSONL and the Start resume contract is unchanged.
 // BenchmarkSweepScaling feeds the committed BENCH_scaling.json
 // (speedup and parallel efficiency per worker count) and
-// cmd/benchguard -scaling fails CI when efficiency regresses. See
-// README.md for the quickstart, the policy and source tables, the Spec
-// schema, the package map and the pooling contracts.
+// cmd/benchguard -scaling fails CI when efficiency regresses.
+//
+// The same internals serve heavy traffic as a long-running service:
+// cmd/routed (internal/serve) exposes single solves on a sharded worker
+// pool — each shard goroutine permanently owning its pooled scratch,
+// with immediate 503 backpressure when every queue is full — and
+// declarative sweep submissions streamed back as JSON lines,
+// byte-identical to the offline Sweep of the same spec. Completed sweeps
+// are cached by the spec's canonical content hash (scenario.Spec.Hash)
+// with singleflight admission: concurrent identical submissions collapse
+// onto one execution, attachers stream the in-flight run point by point,
+// and a warm hit replays the cached bytes without touching a solver.
+// cmd/routeload load-tests the server and the committed BENCH_serve.json
+// latency baseline is guarded by cmd/benchguard -serve. See README.md
+// for the quickstart, the policy and source tables, the Spec schema,
+// the package map and the pooling contracts.
 package repro

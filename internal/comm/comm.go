@@ -195,12 +195,29 @@ func (c Comm) Split(rates []float64) ([]Comm, error) {
 
 // SplitEqual divides the communication into s equal parts.
 func (c Comm) SplitEqual(s int) ([]Comm, error) {
+	out, err := c.AppendSplitEqual(nil, s)
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// AppendSplitEqual appends the s equal fragments of the communication to
+// dst and returns the extended slice — the allocation-free form of
+// SplitEqual for pooled callers (the s-MP solvers fragment every
+// communication of every trial, so the intermediate rate and part slices
+// dominated their allocation profile). The fragments are identical to
+// SplitEqual's: same ID and endpoints, Rate/s each.
+func (c Comm) AppendSplitEqual(dst []Comm, s int) ([]Comm, error) {
 	if s < 1 {
-		return nil, fmt.Errorf("comm %d: split count %d < 1", c.ID, s)
+		return dst, fmt.Errorf("comm %d: split count %d < 1", c.ID, s)
 	}
-	rates := make([]float64, s)
-	for i := range rates {
-		rates[i] = c.Rate / float64(s)
+	r := c.Rate / float64(s)
+	if r <= 0 {
+		return dst, fmt.Errorf("comm %d: non-positive split rate %g", c.ID, r)
 	}
-	return c.Split(rates)
+	for i := 0; i < s; i++ {
+		dst = append(dst, Comm{ID: c.ID, Src: c.Src, Dst: c.Dst, Rate: r})
+	}
+	return dst, nil
 }

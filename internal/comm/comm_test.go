@@ -135,6 +135,41 @@ func TestSplitEqualConservesRate(t *testing.T) {
 	}
 }
 
+func TestAppendSplitEqualMatchesSplitEqual(t *testing.T) {
+	c := Comm{ID: 7, Src: mesh.Coord{U: 1, V: 2}, Dst: mesh.Coord{U: 5, V: 3}, Rate: 1001}
+	for s := 1; s <= 6; s++ {
+		want, err := c.SplitEqual(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Appends after existing content, reusing the backing array.
+		dst := make([]Comm, 1, 1+s)
+		dst[0] = Comm{ID: -1}
+		got, err := c.AppendSplitEqual(dst, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if &got[0] != &dst[0] || got[0].ID != -1 {
+			t.Fatalf("s=%d: AppendSplitEqual did not extend dst in place", s)
+		}
+		if len(got)-1 != len(want) {
+			t.Fatalf("s=%d: appended %d fragments, want %d", s, len(got)-1, len(want))
+		}
+		for i, w := range want {
+			if got[i+1] != w {
+				t.Errorf("s=%d fragment %d: got %+v, want %+v", s, i, got[i+1], w)
+			}
+		}
+	}
+	if _, err := c.AppendSplitEqual(nil, 0); err == nil {
+		t.Error("AppendSplitEqual(0) accepted")
+	}
+	zero := Comm{ID: 1, Src: mesh.Coord{U: 0, V: 0}, Dst: mesh.Coord{U: 1, V: 0}}
+	if _, err := zero.AppendSplitEqual(nil, 2); err == nil {
+		t.Error("AppendSplitEqual of a zero-rate comm accepted")
+	}
+}
+
 func TestSplitEqualRejectsZero(t *testing.T) {
 	c := Comm{ID: 1, Src: mesh.Coord{U: 1, V: 1}, Dst: mesh.Coord{U: 2, V: 2}, Rate: 4}
 	if _, err := c.SplitEqual(0); err == nil {

@@ -65,17 +65,20 @@ func (e EqualSplit) RouteWith(m *mesh.Mesh, model power.Model, set comm.Set, ws 
 		sc = &smpScratch{}
 	}
 	// Fragment with fresh dense IDs; remember the original ID per fragment.
+	// AppendSplitEqual writes the fragments straight into the pooled
+	// buffer — the per-comm intermediate slices SplitEqual used to build
+	// were the bulk of this policy's per-call allocations.
 	frags := sc.frags[:0]
 	origID := sc.origID[:0]
 	for _, c := range set {
-		parts, err := c.SplitEqual(e.S)
-		if err != nil {
+		lo := len(frags)
+		var err error
+		if frags, err = c.AppendSplitEqual(frags, e.S); err != nil {
 			return route.Routing{}, err
 		}
-		for _, p := range parts {
-			p.ID = len(frags)
+		for i := lo; i < len(frags); i++ {
+			frags[i].ID = i
 			origID = append(origID, c.ID)
-			frags = append(frags, p)
 		}
 	}
 	sc.frags, sc.origID = frags, origID

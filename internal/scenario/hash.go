@@ -1,0 +1,81 @@
+package scenario
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"hash"
+	"math"
+	"strings"
+)
+
+// Hash returns the spec's canonical content hash: a hex SHA-256 over a
+// fixed-order binary encoding of every field, including the nested
+// Params. Two specs that describe the same sweep hash equal however they
+// were written — JSON field order never matters (decoding already
+// canonicalizes it), and the encoding normalizes the spellings that
+// cannot change a single output byte: the mesh defaults to 8x8 and
+// parses case-insensitively ("16X16" ≡ "16x16"), source and policy
+// names fold to the registry's case-insensitive key, and the empty
+// power model is the "kim-horowitz" default. Everything else —
+// captions included, because they appear verbatim in sink output — is
+// hashed as-is, so any semantic change to the spec changes the hash.
+//
+// The hash is the content-addressed identity of a sweep: the serve
+// layer keys its completed-sweep cache on it, and callers may use it to
+// deduplicate or name sweep artifacts.
+func (s Spec) Hash() string {
+	h := sha256.New()
+	hashString(h, s.ID)
+	hashString(h, s.Title)
+	hashString(h, s.XLabel)
+	if p, q, err := s.MeshDims(); err == nil {
+		hashInt(h, int64(p))
+		hashInt(h, int64(q))
+	} else {
+		// An unparsable mesh never runs; hash the raw string so broken
+		// specs still have a stable identity.
+		hashString(h, s.Mesh)
+	}
+	hashString(h, strings.ToUpper(s.SourceName()))
+	hashFloat(h, s.Params.WMin)
+	hashFloat(h, s.Params.WMax)
+	hashFloat(h, s.Params.WBand)
+	hashFloat(h, s.Params.Rate)
+	hashInt(h, int64(s.Params.N))
+	hashInt(h, int64(s.Params.Length))
+	hashString(h, s.Axis)
+	hashInt(h, int64(len(s.Points)))
+	for _, x := range s.Points {
+		hashFloat(h, x)
+	}
+	hashInt(h, int64(s.Trials))
+	hashInt(h, s.Seed)
+	hashInt(h, int64(len(s.Policies)))
+	for _, p := range s.Policies {
+		hashString(h, strings.ToUpper(p))
+	}
+	pow := s.Power
+	if pow == "" {
+		pow = "kim-horowitz"
+	}
+	hashString(h, pow)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// hashString writes a length-prefixed string, so adjacent fields can
+// never alias ("ab"+"c" vs "a"+"bc").
+func hashString(h hash.Hash, s string) {
+	hashInt(h, int64(len(s)))
+	h.Write([]byte(s))
+}
+
+func hashInt(h hash.Hash, v int64) {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(v))
+	h.Write(buf[:])
+}
+
+func hashFloat(h hash.Hash, v float64) {
+	hashInt(h, int64(math.Float64bits(v)))
+}

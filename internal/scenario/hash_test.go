@@ -1,0 +1,112 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+)
+
+func specForHash() Spec {
+	return Spec{
+		ID:     "s1",
+		Title:  "a sweep",
+		XLabel: "n",
+		Mesh:   "8x8",
+		Source: "uniform",
+		Params: Params{N: 10, WMin: 100, WMax: 1500, WBand: 0.1, Length: 4, Rate: 250},
+		Axis:   AxisN,
+		Points: []float64{5, 10, 20},
+		Trials: 7,
+		Seed:   3,
+		Policies: []string{
+			"XY", "PR",
+		},
+		Power: "kim-horowitz",
+	}
+}
+
+func TestHashStableAndJSONOrderIndependent(t *testing.T) {
+	sp := specForHash()
+	if sp.Hash() != sp.Hash() {
+		t.Fatal("hash is not deterministic")
+	}
+	// The same spec written with JSON fields in two different orders
+	// must decode to the same hash.
+	a := `{"id":"s1","source":"uniform","mesh":"8x8","axis":"n","points":[5,20],"trials":2,"seed":1,"params":{"wmin":100,"wmax":1200}}`
+	b := `{"params":{"wmax":1200,"wmin":100},"seed":1,"trials":2,"points":[5,20],"axis":"n","mesh":"8x8","source":"uniform","id":"s1"}`
+	sa, err := DecodeJSON(strings.NewReader(a))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb, err := DecodeJSON(strings.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sa.Hash() != sb.Hash() {
+		t.Error("JSON field order changed the hash")
+	}
+}
+
+func TestHashNormalizesEquivalentSpellings(t *testing.T) {
+	base := specForHash()
+	for name, mut := range map[string]func(*Spec){
+		"mesh default":      func(s *Spec) { s.Mesh = "" },
+		"mesh case":         func(s *Spec) { s.Mesh = "8X8" },
+		"source case":       func(s *Spec) { s.Source = "UNIFORM" },
+		"policy case":       func(s *Spec) { s.Policies = []string{"xy", "pr"} },
+		"power default":     func(s *Spec) { s.Power = "" },
+		"source default":    func(s *Spec) { s.Source = "" },
+		"mesh whitespace":   func(s *Spec) { s.Mesh = " 8x8 " },
+		"identical rewrite": func(s *Spec) {},
+	} {
+		sp := specForHash()
+		mut(&sp)
+		if sp.Hash() != base.Hash() {
+			t.Errorf("%s: semantically equal spec hashed differently", name)
+		}
+	}
+}
+
+func TestHashChangesWithEveryField(t *testing.T) {
+	base := specForHash().Hash()
+	muts := map[string]func(*Spec){
+		"id":             func(s *Spec) { s.ID = "s2" },
+		"title":          func(s *Spec) { s.Title = "b sweep" },
+		"xlabel":         func(s *Spec) { s.XLabel = "m" },
+		"mesh":           func(s *Spec) { s.Mesh = "16x16" },
+		"source":         func(s *Spec) { s.Source = "tornado" },
+		"params.n":       func(s *Spec) { s.Params.N = 11 },
+		"params.wmin":    func(s *Spec) { s.Params.WMin = 101 },
+		"params.wmax":    func(s *Spec) { s.Params.WMax = 1501 },
+		"params.wband":   func(s *Spec) { s.Params.WBand = 0.2 },
+		"params.length":  func(s *Spec) { s.Params.Length = 5 },
+		"params.rate":    func(s *Spec) { s.Params.Rate = 300 },
+		"axis":           func(s *Spec) { s.Axis = AxisWeight },
+		"points":         func(s *Spec) { s.Points = []float64{5, 10, 21} },
+		"points count":   func(s *Spec) { s.Points = []float64{5, 10} },
+		"trials":         func(s *Spec) { s.Trials = 8 },
+		"seed":           func(s *Spec) { s.Seed = 4 },
+		"policies":       func(s *Spec) { s.Policies = []string{"XY", "SA"} },
+		"policies count": func(s *Spec) { s.Policies = []string{"XY"} },
+		"power":          func(s *Spec) { s.Power = "continuous" },
+	}
+	seen := map[string]string{base: "base"}
+	for name, mut := range muts {
+		sp := specForHash()
+		mut(&sp)
+		h := sp.Hash()
+		if prev, dup := seen[h]; dup {
+			t.Errorf("mutating %s collided with %s", name, prev)
+		}
+		seen[h] = name
+	}
+}
+
+// TestHashFieldBoundaries pins the length-prefixed encoding: content
+// sliding between adjacent string fields must change the hash.
+func TestHashFieldBoundaries(t *testing.T) {
+	a := Spec{ID: "ab", Title: "c"}
+	b := Spec{ID: "a", Title: "bc"}
+	if a.Hash() == b.Hash() {
+		t.Error("adjacent string fields alias in the hash encoding")
+	}
+}

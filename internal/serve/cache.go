@@ -1,0 +1,191 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+)
+
+// cacheState classifies what acquiring a spec hash found.
+type cacheState int
+
+const (
+	// stateRun: no entry existed; the caller owns the entry and must run
+	// the sweep into it exactly once.
+	stateRun cacheState = iota
+	// stateAttach: the sweep is in flight; the caller streams the entry
+	// as it fills.
+	stateAttach
+	// stateHit: the sweep completed earlier; the entry holds the full
+	// result.
+	stateHit
+)
+
+// sweepEntry is one content-addressed sweep result: the byte stream the
+// JSONL sink produced (or is still producing), shared by the run that
+// writes it and every request that replays it. The buffer is append-only,
+// so a reader can release the lock while writing an already-published
+// chunk to its client — slices into the old backing array stay valid even
+// if a concurrent append reallocates.
+type sweepEntry struct {
+	hash string
+
+	mu   sync.Mutex
+	cond sync.Cond
+	buf  []byte
+	done bool
+	err  error
+
+	elem *list.Element // LRU position once completed (nil while in flight)
+}
+
+func newSweepEntry(hash string) *sweepEntry {
+	e := &sweepEntry{hash: hash}
+	e.cond.L = &e.mu
+	return e
+}
+
+// Write implements io.Writer for the running sweep's JSONL sink: append
+// and wake every attached reader. It never fails and never blocks on
+// readers, so a slow client cannot stall the sweep.
+func (e *sweepEntry) Write(p []byte) (int, error) {
+	e.mu.Lock()
+	e.buf = append(e.buf, p...)
+	e.mu.Unlock()
+	e.cond.Broadcast()
+	return len(p), nil
+}
+
+// finish marks the entry complete (err non-nil when the sweep failed) and
+// releases every waiting reader.
+func (e *sweepEntry) finish(err error) {
+	e.mu.Lock()
+	e.done, e.err = true, err
+	e.mu.Unlock()
+	e.cond.Broadcast()
+}
+
+// stream copies the entry to w from the beginning, following the live
+// buffer until the sweep completes; flush, when non-nil, runs after every
+// chunk so per-point lines reach a streaming HTTP client as they are
+// evaluated. It returns the write error (the client went away — the sweep
+// itself is unaffected) or the sweep's own error for a failed run.
+func (e *sweepEntry) stream(w writerFunc, flush func()) error {
+	off := 0
+	e.mu.Lock()
+	for {
+		for off < len(e.buf) {
+			chunk := e.buf[off:len(e.buf):len(e.buf)]
+			off = len(e.buf)
+			e.mu.Unlock()
+			if err := w(chunk); err != nil {
+				return err
+			}
+			if flush != nil {
+				flush()
+			}
+			e.mu.Lock()
+		}
+		if e.done {
+			break
+		}
+		e.cond.Wait()
+	}
+	err := e.err
+	e.mu.Unlock()
+	return err
+}
+
+// writerFunc adapts the chunk writes of stream to any destination.
+type writerFunc func(p []byte) error
+
+// size returns the current buffered byte count.
+func (e *sweepEntry) size() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.buf)
+}
+
+// sweepCache is the content-addressed completed-sweep store with
+// singleflight admission: acquire returns stateRun to exactly one caller
+// per hash however many submissions race, everyone else attaches to the
+// in-flight entry or replays the completed one. Completed entries live on
+// an LRU bounded at cap; in-flight entries are pinned (never evicted)
+// until they finish.
+type sweepCache struct {
+	mu      sync.Mutex
+	cap     int
+	entries map[string]*sweepEntry
+	lru     *list.List // front = most recent; values are *sweepEntry
+
+	hits, misses, attaches, evictions uint64
+}
+
+func newSweepCache(capacity int) *sweepCache {
+	return &sweepCache{
+		cap:     capacity,
+		entries: make(map[string]*sweepEntry),
+		lru:     list.New(),
+	}
+}
+
+// acquire looks the hash up, classifying the result and registering a
+// fresh in-flight entry on a miss. The stateRun caller must eventually
+// call complete (success) or abandon (failure) on the entry.
+func (c *sweepCache) acquire(hash string) (*sweepEntry, cacheState) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.entries[hash]; ok {
+		if e.elem != nil {
+			c.lru.MoveToFront(e.elem)
+			c.hits++
+			return e, stateHit
+		}
+		c.attaches++
+		return e, stateAttach
+	}
+	e := newSweepEntry(hash)
+	c.entries[hash] = e
+	c.misses++
+	return e, stateRun
+}
+
+// complete promotes a finished in-flight entry onto the LRU, evicting the
+// oldest completed entries beyond capacity.
+func (c *sweepCache) complete(e *sweepEntry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e.elem = c.lru.PushFront(e)
+	for c.lru.Len() > c.cap {
+		oldest := c.lru.Back()
+		c.lru.Remove(oldest)
+		victim := oldest.Value.(*sweepEntry)
+		delete(c.entries, victim.hash)
+		victim.elem = nil
+		c.evictions++
+	}
+}
+
+// abandon drops a failed in-flight entry so the next submission of the
+// same spec retries instead of replaying the failure forever. Attached
+// readers already streaming the entry still observe its finish.
+func (c *sweepCache) abandon(e *sweepEntry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if cur, ok := c.entries[e.hash]; ok && cur == e {
+		delete(c.entries, e.hash)
+	}
+}
+
+// len returns the number of cached (completed) entries.
+func (c *sweepCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Len()
+}
+
+// counters snapshots the hit/miss/attach/eviction counts.
+func (c *sweepCache) counters() (hits, misses, attaches, evictions uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, c.attaches, c.evictions
+}

@@ -1,0 +1,89 @@
+package serve
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/stats"
+)
+
+// LoadConfig drives RunLoad: Clients concurrent workers issue Requests
+// total requests, each worker pulling the next request index from a
+// shared counter until the quota is spent.
+type LoadConfig struct {
+	Clients  int
+	Requests int
+}
+
+// LoadReport aggregates one load run: counts, wall-clock throughput, and
+// the nearest-rank latency percentiles of the individual requests. All
+// durations are nanoseconds so the report marshals portably.
+type LoadReport struct {
+	Clients       int     `json:"clients"`
+	Requests      int     `json:"requests"`
+	Errors        int     `json:"errors"`
+	ElapsedNS     float64 `json:"elapsed_ns"`
+	ThroughputRPS float64 `json:"throughput_rps"`
+	P50NS         float64 `json:"p50_ns"`
+	P99NS         float64 `json:"p99_ns"`
+}
+
+// RunLoad hammers do from cfg.Clients concurrent workers until
+// cfg.Requests calls have been issued, timing each call. do receives the
+// worker id and the global request index; a non-nil return counts as an
+// error (its latency still recorded — a fast failure is still a
+// response). This is the shared core of the routeload binary and the
+// serve benchmark emitter.
+func RunLoad(cfg LoadConfig, do func(worker, req int) error) LoadReport {
+	if cfg.Clients < 1 {
+		cfg.Clients = 1
+	}
+	if cfg.Requests < 1 {
+		cfg.Requests = 1
+	}
+	perWorker := make([][]float64, cfg.Clients)
+	var errs atomic.Int64
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < cfg.Clients; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			lat := make([]float64, 0, cfg.Requests/cfg.Clients+1)
+			for {
+				req := int(next.Add(1)) - 1
+				if req >= cfg.Requests {
+					break
+				}
+				t0 := time.Now()
+				err := do(w, req)
+				lat = append(lat, float64(time.Since(t0)))
+				if err != nil {
+					errs.Add(1)
+				}
+			}
+			perWorker[w] = lat
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var all []float64
+	for _, lat := range perWorker {
+		all = append(all, lat...)
+	}
+	rep := LoadReport{
+		Clients:   cfg.Clients,
+		Requests:  cfg.Requests,
+		Errors:    int(errs.Load()),
+		ElapsedNS: float64(elapsed),
+		P50NS:     stats.Percentile(all, 50),
+		P99NS:     stats.Percentile(all, 99),
+	}
+	if elapsed > 0 {
+		rep.ThroughputRPS = float64(cfg.Requests) / elapsed.Seconds()
+	}
+	return rep
+}

@@ -1,0 +1,490 @@
+// Package serve is the routing-as-a-service layer: a long-running HTTP
+// front end over the pooled solver engine and the streaming sweep
+// pipeline, built for sustained heavy traffic rather than one-shot CLI
+// runs.
+//
+// Two workloads, two disciplines:
+//
+//   - POST /solve routes one communication set under one policy. Requests
+//     run on a sharded worker pool; each shard goroutine permanently owns
+//     its pooled scratch (route.Workspace with the compiled
+//     power.Evaluator inside, per-geometry LoadTrackers, a noc.Workspace
+//     for optional replay), so the steady-state cost of a request is the
+//     solve itself. When every shard queue is full the server answers 503
+//     immediately instead of letting latency grow without bound — the
+//     backpressure guardrail.
+//
+//   - POST /sweep accepts a declarative scenario.Spec and streams the
+//     sweep's per-point results back as JSON lines — byte-identical to an
+//     offline experiments.Sweep of the same spec through a JSONL sink,
+//     at any configured worker count. Completed sweeps are cached by the
+//     spec's canonical content hash (scenario.Spec.Hash) with
+//     singleflight admission: however many identical submissions race,
+//     exactly one sweep executes; the rest attach to the in-flight run
+//     (streaming each point as it completes) or replay the cached bytes.
+//     The cache is LRU-bounded and never evicts an in-flight entry.
+//
+// GET /stats exposes the traffic and cache counters, GET /healthz is the
+// liveness probe. Graceful shutdown is the HTTP server's: in-flight
+// solves and sweep streams run to completion; Close then drains the
+// shard queues.
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/comm"
+	"repro/internal/experiments"
+	"repro/internal/mesh"
+	"repro/internal/noc"
+	"repro/internal/power"
+	"repro/internal/scenario"
+	"repro/internal/solve"
+)
+
+// Config tunes the server. The zero value serves with sensible defaults.
+type Config struct {
+	// SolveShards is the number of solve workers, each owning its pooled
+	// scratch for its whole lifetime (0 = GOMAXPROCS).
+	SolveShards int
+	// ShardQueue is each shard's pending-request bound (0 = 64). When
+	// every queue is full, /solve answers 503 instead of queueing — the
+	// latency guardrail under overload.
+	ShardQueue int
+	// SweepWorkers is the work-stealing worker count of each sweep run
+	// (experiments.SweepOptions.Workers; 0 = GOMAXPROCS). Output bytes
+	// are identical at every setting.
+	SweepWorkers int
+	// MaxSweeps bounds concurrently executing sweeps (0 = 2); further
+	// cold submissions wait their turn. Identical submissions never
+	// stack — singleflight collapses them onto one run.
+	MaxSweeps int
+	// CacheEntries bounds the completed-sweep cache (0 = 64 sweeps).
+	CacheEntries int
+	// MaxTrials rejects sweep submissions requesting more than this many
+	// trials per point (0 = unlimited) — the knob that keeps one
+	// oversized submission from monopolizing the service.
+	MaxTrials int
+}
+
+func (c Config) withDefaults() Config {
+	if c.SolveShards <= 0 {
+		c.SolveShards = runtime.GOMAXPROCS(0)
+	}
+	if c.ShardQueue <= 0 {
+		c.ShardQueue = 64
+	}
+	if c.MaxSweeps <= 0 {
+		c.MaxSweeps = 2
+	}
+	if c.CacheEntries <= 0 {
+		c.CacheEntries = 64
+	}
+	return c
+}
+
+// Stats is a snapshot of the server's counters.
+type Stats struct {
+	// Solves counts completed solve requests; SolveRejects the 503s the
+	// backpressure guardrail returned with full queues.
+	Solves       uint64 `json:"solves"`
+	SolveRejects uint64 `json:"solve_rejects"`
+	// SweepsRun counts sweep executions — cache misses that actually ran
+	// the engine. CacheHits replayed a completed entry, CacheAttaches
+	// joined an in-flight run, CacheEvictions dropped LRU entries.
+	SweepsRun      uint64 `json:"sweeps_run"`
+	CacheHits      uint64 `json:"cache_hits"`
+	CacheMisses    uint64 `json:"cache_misses"`
+	CacheAttaches  uint64 `json:"cache_attaches"`
+	CacheEvictions uint64 `json:"cache_evictions"`
+	CacheEntries   int    `json:"cache_entries"`
+}
+
+// Server is the routing service. Create with New, expose via Handler,
+// stop with Close after the HTTP listener has shut down.
+type Server struct {
+	cfg   Config
+	mux   *http.ServeMux
+	cache *sweepCache
+
+	shards   []*shard
+	dispatch sync.RWMutex // guards shard sends against Close
+	closed   bool
+	workers  sync.WaitGroup
+	sweeps   sync.WaitGroup
+	sem      chan struct{} // MaxSweeps tokens
+	next     atomic.Uint64 // round-robin shard cursor
+
+	meshMu sync.RWMutex
+	meshes map[[2]int]*mesh.Mesh
+
+	solves       atomic.Uint64
+	solveRejects atomic.Uint64
+	sweepsRun    atomic.Uint64
+}
+
+// New starts the shard workers and returns the server.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:    cfg,
+		mux:    http.NewServeMux(),
+		cache:  newSweepCache(cfg.CacheEntries),
+		sem:    make(chan struct{}, cfg.MaxSweeps),
+		meshes: make(map[[2]int]*mesh.Mesh),
+	}
+	s.shards = make([]*shard, cfg.SolveShards)
+	for i := range s.shards {
+		sh := &shard{jobs: make(chan *solveJob, cfg.ShardQueue)}
+		s.shards[i] = sh
+		s.workers.Add(1)
+		go func() {
+			defer s.workers.Done()
+			sh.loop()
+		}()
+	}
+	s.mux.HandleFunc("POST /solve", s.handleSolve)
+	s.mux.HandleFunc("POST /sweep", s.handleSweep)
+	s.mux.HandleFunc("GET /stats", s.handleStats)
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	return s
+}
+
+// Handler returns the server's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Close stops accepting work, waits for every queued solve to be
+// answered and every in-flight sweep to finish, then releases the shard
+// workers. Call it after the HTTP listener has drained its handlers.
+func (s *Server) Close() {
+	s.dispatch.Lock()
+	if !s.closed {
+		s.closed = true
+		for _, sh := range s.shards {
+			close(sh.jobs)
+		}
+	}
+	s.dispatch.Unlock()
+	s.workers.Wait()
+	s.sweeps.Wait()
+}
+
+// Stats snapshots the counters.
+func (s *Server) Stats() Stats {
+	hits, misses, attaches, evictions := s.cache.counters()
+	return Stats{
+		Solves:         s.solves.Load(),
+		SolveRejects:   s.solveRejects.Load(),
+		SweepsRun:      s.sweepsRun.Load(),
+		CacheHits:      hits,
+		CacheMisses:    misses,
+		CacheAttaches:  attaches,
+		CacheEvictions: evictions,
+		CacheEntries:   s.cache.len(),
+	}
+}
+
+// meshFor parses and caches the mesh geometry, so every request on one
+// platform shares one mesh (and therefore one pooled tracker per shard).
+func (s *Server) meshFor(spec string) (*mesh.Mesh, error) {
+	if spec == "" {
+		spec = "8x8"
+	}
+	p, q, err := scenario.ParseMesh(spec)
+	if err != nil {
+		return nil, err
+	}
+	key := [2]int{p, q}
+	s.meshMu.RLock()
+	m := s.meshes[key]
+	s.meshMu.RUnlock()
+	if m != nil {
+		return m, nil
+	}
+	s.meshMu.Lock()
+	defer s.meshMu.Unlock()
+	if m = s.meshes[key]; m == nil {
+		m = mesh.MustNew(p, q)
+		s.meshes[key] = m
+	}
+	return m, nil
+}
+
+// modelFor resolves the power model names the scenario specs use.
+func modelFor(name string) (power.Model, error) {
+	switch name {
+	case "", "kim-horowitz":
+		return power.KimHorowitz(), nil
+	case "continuous":
+		return power.KimHorowitzContinuous(), nil
+	}
+	return power.Model{}, fmt.Errorf("serve: unknown power model %q (want kim-horowitz or continuous)", name)
+}
+
+// SolveRequest is the /solve body: one communication set, one policy.
+type SolveRequest struct {
+	// Mesh is the "PxQ" platform geometry ("" = 8x8).
+	Mesh string `json:"mesh,omitempty"`
+	// Policy is any registered routing policy name.
+	Policy string `json:"policy"`
+	// Power selects the link power model like scenario.Spec.Power.
+	Power string `json:"power,omitempty"`
+	// Seed drives stochastic policies (SA).
+	Seed int64 `json:"seed,omitempty"`
+	// SAIters and MaxPaths pass through to solve.Options.
+	SAIters  int `json:"sa_iters,omitempty"`
+	MaxPaths int `json:"max_paths,omitempty"`
+	// Comms is the communication set to route.
+	Comms []SolveComm `json:"comms"`
+	// Sim, when present, also replays the routed set in the
+	// discrete-event NoC simulator and reports its delivery counters.
+	Sim *SimRequest `json:"sim,omitempty"`
+}
+
+// SolveComm is one communication: src/dst are [u, v] core coordinates.
+type SolveComm struct {
+	ID   int     `json:"id"`
+	Src  [2]int  `json:"src"`
+	Dst  [2]int  `json:"dst"`
+	Rate float64 `json:"rate"`
+}
+
+// SimRequest configures the optional NoC replay of a solve.
+type SimRequest struct {
+	HorizonUS float64 `json:"horizon_us,omitempty"`
+	WarmupUS  float64 `json:"warmup_us,omitempty"`
+	// Switching is "sf" (store-and-forward, default) or "ct"
+	// (cut-through).
+	Switching     string  `json:"switching,omitempty"`
+	PacketBits    float64 `json:"packet_bits,omitempty"`
+	BufferPackets int     `json:"buffer_packets,omitempty"`
+}
+
+// SimResult reports the replay's packet accounting
+// (Injected = Delivered + Stalled + InFlight).
+type SimResult struct {
+	Injected  int `json:"injected"`
+	Delivered int `json:"delivered"`
+	Stalled   int `json:"stalled"`
+	InFlight  int `json:"in_flight"`
+}
+
+// SolveResponse is the /solve answer. A policy that finds no valid
+// solution (OPT proving infeasibility, a blown search budget) is a
+// result, not a transport failure: Feasible false with Error set.
+type SolveResponse struct {
+	Policy   string     `json:"policy"`
+	Feasible bool       `json:"feasible"`
+	StaticMW float64    `json:"static_mw"`
+	DynMW    float64    `json:"dynamic_mw"`
+	TotalMW  float64    `json:"total_mw"`
+	Sim      *SimResult `json:"sim,omitempty"`
+	Error    string     `json:"error,omitempty"`
+}
+
+// simConfig translates the request's replay options.
+func simConfig(r *SimRequest) (*noc.Config, error) {
+	if r == nil {
+		return nil, nil
+	}
+	cfg := &noc.Config{
+		Horizon:       r.HorizonUS,
+		Warmup:        r.WarmupUS,
+		PacketBits:    r.PacketBits,
+		BufferPackets: r.BufferPackets,
+	}
+	switch r.Switching {
+	case "", "sf":
+		cfg.Switching = noc.StoreAndForward
+	case "ct":
+		cfg.Switching = noc.CutThrough
+	default:
+		return nil, fmt.Errorf("serve: unknown switching %q (want sf or ct)", r.Switching)
+	}
+	return cfg, nil
+}
+
+func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	var req SolveRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	m, err := s.meshFor(req.Mesh)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	model, err := modelFor(req.Power)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	solver, err := solve.Lookup(req.Policy)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	sim, err := simConfig(req.Sim)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	set := make(comm.Set, len(req.Comms))
+	for i, c := range req.Comms {
+		set[i] = comm.Comm{
+			ID:   c.ID,
+			Src:  mesh.Coord{U: c.Src[0], V: c.Src[1]},
+			Dst:  mesh.Coord{U: c.Dst[0], V: c.Dst[1]},
+			Rate: c.Rate,
+		}
+	}
+	in := solve.Instance{Mesh: m, Model: model, Comms: set}
+	if err := in.Validate(); err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	job := &solveJob{
+		in:     in,
+		solver: solver,
+		opts:   solve.Options{Seed: req.Seed, SAIters: req.SAIters, MaxPaths: req.MaxPaths},
+		sim:    sim,
+		done:   make(chan solveOutcome, 1),
+	}
+	if !s.enqueue(job) {
+		s.solveRejects.Add(1)
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusServiceUnavailable, fmt.Errorf("serve: all %d solve queues full", len(s.shards)))
+		return
+	}
+	out := <-job.done
+	s.solves.Add(1)
+	resp := SolveResponse{Policy: solver.Name()}
+	if out.err != nil {
+		resp.Error = out.err.Error()
+	} else {
+		resp.Feasible = out.feasible
+		resp.StaticMW = out.bd.Static
+		resp.DynMW = out.bd.Dynamic
+		resp.TotalMW = out.bd.Total()
+		resp.Sim = out.sim
+	}
+	writeJSON(w, resp)
+}
+
+// enqueue places the job on a shard queue, trying every shard from a
+// round-robin start; false means every queue is full (or the server is
+// closed) and the caller should shed the request.
+func (s *Server) enqueue(job *solveJob) bool {
+	s.dispatch.RLock()
+	defer s.dispatch.RUnlock()
+	if s.closed {
+		return false
+	}
+	n := len(s.shards)
+	start := int(s.next.Add(1)-1) % n
+	for i := 0; i < n; i++ {
+		select {
+		case s.shards[(start+i)%n].jobs <- job:
+			return true
+		default:
+		}
+	}
+	return false
+}
+
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	sp, err := scenario.DecodeJSON(r.Body)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	if s.cfg.MaxTrials > 0 && sp.Trials > s.cfg.MaxTrials {
+		httpError(w, http.StatusBadRequest,
+			fmt.Errorf("serve: %d trials/point exceeds the server's limit of %d", sp.Trials, s.cfg.MaxTrials))
+		return
+	}
+	// Expanding the spec catches what the spec's own Validate cannot (a
+	// bad mesh string reaching the panel layer) and the explicit lookups
+	// catch what expansion defers to run time (an unknown policy name) —
+	// both must fail here, before a cache entry exists for the hash.
+	if _, err := experiments.PanelOf(sp); err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	for _, name := range sp.Policies {
+		if _, err := solve.Lookup(name); err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+	}
+	hash := sp.Hash()
+	entry, state := s.cache.acquire(hash)
+	if state == stateRun {
+		s.sweeps.Add(1)
+		go s.runSweep(sp, entry)
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("X-Routed-Spec-Hash", hash)
+	w.Header().Set("X-Routed-Cache", map[cacheState]string{
+		stateRun: "miss", stateAttach: "attach", stateHit: "hit",
+	}[state])
+	flusher, _ := w.(http.Flusher)
+	var flush func()
+	if flusher != nil {
+		flush = flusher.Flush
+	}
+	_ = entry.stream(func(p []byte) error {
+		_, err := w.Write(p)
+		return err
+	}, flush)
+}
+
+// runSweep executes the singleflight winner's sweep into the entry:
+// per-point JSONL flows to every attached stream as it is evaluated, and
+// a successful run is promoted into the cache. A failed run appends one
+// terminal error record — a deliberate departure from the offline format,
+// which has no way to signal mid-stream failure — and is dropped from the
+// cache so the next submission retries.
+func (s *Server) runSweep(sp scenario.Spec, entry *sweepEntry) {
+	defer s.sweeps.Done()
+	s.sem <- struct{}{}
+	defer func() { <-s.sem }()
+	s.sweepsRun.Add(1)
+	err := experiments.Sweep(sp, experiments.SweepOptions{Workers: s.cfg.SweepWorkers},
+		experiments.NewJSONLSink(entry))
+	if err != nil {
+		line, _ := json.Marshal(map[string]string{"type": "error", "error": err.Error()})
+		entry.Write(append(line, '\n'))
+		entry.finish(err)
+		s.cache.abandon(entry)
+		return
+	}
+	entry.finish(nil)
+	s.cache.complete(entry)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, s.Stats())
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}

@@ -1,0 +1,111 @@
+package serve
+
+import (
+	"fmt"
+
+	"repro/internal/noc"
+	"repro/internal/power"
+	"repro/internal/route"
+	"repro/internal/solve"
+)
+
+// solveJob is one single-solve request handed to a shard worker. The
+// routing itself never leaves the worker — it aliases the worker's pooled
+// workspace — only the evaluation crosses back over done.
+type solveJob struct {
+	in     solve.Instance
+	solver solve.Solver
+	opts   solve.Options
+	sim    *noc.Config // non-nil: also replay the routing in the NoC sim
+	done   chan solveOutcome
+}
+
+// solveOutcome is the worker's answer: the power evaluation of the
+// routing (feasible=false when some link exceeds the model's bandwidth),
+// the optional NoC replay counters, or the solver's own error.
+type solveOutcome struct {
+	feasible bool
+	bd       power.Breakdown
+	sim      *SimResult
+	err      error
+}
+
+// shard is one worker of the solve pool: a queue and a goroutine that
+// permanently owns its pooled scratch — the dense route.Workspace (with
+// the compiled power.Evaluator cached inside it), one LoadTracker per
+// mesh geometry seen, and a noc.Workspace for replay requests. Nothing is
+// reallocated across requests; a request's cost is the solve itself plus
+// the HTTP/JSON rim.
+type shard struct {
+	jobs chan *solveJob
+}
+
+// shardScratch is the worker's permanent state.
+type shardScratch struct {
+	ws       *route.Workspace
+	trackers map[[2]int]*route.LoadTracker
+	nocWS    *noc.Workspace
+}
+
+func newShardScratch() *shardScratch {
+	return &shardScratch{
+		ws:       route.NewWorkspace(),
+		trackers: make(map[[2]int]*route.LoadTracker),
+		nocWS:    noc.NewWorkspace(),
+	}
+}
+
+// tracker returns the scratch's load tracker for the instance's mesh
+// geometry, creating it on the first request that uses the geometry.
+func (sc *shardScratch) tracker(in solve.Instance) *route.LoadTracker {
+	key := [2]int{in.Mesh.P(), in.Mesh.Q()}
+	t, ok := sc.trackers[key]
+	if !ok {
+		t = route.NewLoadTracker(in.Mesh)
+		sc.trackers[key] = t
+	}
+	return t
+}
+
+// run executes one job on the worker's scratch.
+func (sc *shardScratch) run(job *solveJob) solveOutcome {
+	opts := job.opts
+	opts.Workspace = sc.ws
+	r, err := job.solver.Route(job.in, opts)
+	if err != nil {
+		return solveOutcome{err: err}
+	}
+	t := sc.tracker(job.in)
+	t.SetRouting(r)
+	bd, ok := t.Evaluate(job.in.Model)
+	out := solveOutcome{feasible: ok, bd: bd}
+	if job.sim != nil {
+		if !ok {
+			out.err = fmt.Errorf("serve: routing infeasible, nothing to simulate")
+			return out
+		}
+		sim, err := sc.nocWS.Simulator(r, job.in.Model, *job.sim)
+		if err != nil {
+			out.err = err
+			return out
+		}
+		st := sim.Run()
+		out.sim = &SimResult{
+			Injected:  st.Injected,
+			Delivered: st.Delivered,
+			Stalled:   st.Stalled,
+			InFlight:  st.InFlight,
+		}
+	}
+	return out
+}
+
+// loop drains the shard's queue until it closes, answering every job —
+// including the ones already queued when shutdown begins, so a graceful
+// stop never strands a waiting request.
+func (sh *shard) loop() {
+	sc := newShardScratch()
+	for job := range sh.jobs {
+		job.done <- sc.run(job)
+	}
+}

@@ -4,7 +4,10 @@
 // power and failure ratio).
 package stats
 
-import "math"
+import (
+	"math"
+	"sort"
+)
 
 // Accumulator computes running mean and variance without storing samples.
 type Accumulator struct {
@@ -92,4 +95,24 @@ func GeoMean(xs []float64) float64 {
 		s += math.Log(x)
 	}
 	return math.Exp(s / float64(len(xs)))
+}
+
+// Percentile returns the p-th percentile (0 < p <= 100) of xs by the
+// nearest-rank method, sorting a copy so the input is untouched. It
+// returns 0 for empty input — the latency-report convention of the serve
+// load harness, whose empty runs report zero rather than NaN.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := int(math.Ceil(p / 100 * float64(len(sorted))))
+	return sorted[rank-1]
 }

@@ -107,3 +107,24 @@ func TestMeanTranslation(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{5, 1, 4, 2, 3} // unsorted on purpose
+	cases := []struct {
+		p    float64
+		want float64
+	}{
+		{0, 1}, {20, 1}, {40, 2}, {50, 3}, {99, 5}, {100, 5},
+	}
+	for _, c := range cases {
+		if got := Percentile(xs, c.p); got != c.want {
+			t.Errorf("Percentile(%v) = %g, want %g", c.p, got, c.want)
+		}
+	}
+	if xs[0] != 5 {
+		t.Error("Percentile mutated its input")
+	}
+	if got := Percentile(nil, 50); got != 0 {
+		t.Errorf("Percentile of empty = %g, want 0", got)
+	}
+}
