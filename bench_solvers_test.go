@@ -39,6 +39,28 @@ func solverBenchInstance() solve.Instance {
 	}
 }
 
+// optBenchInstance is the committed OPT benchmark instance: a 4x4 mesh
+// with 7 communications, the gap-report scale where the exact search is
+// routine. The heuristic reference workload (n=70 on 8x8) is
+// exponentially out of reach for any exact solver, so OPT is tracked on
+// its own instance; benchguard still normalizes by XY measured on the
+// same machine, which is all the cross-machine comparison needs.
+func optBenchInstance() solve.Instance {
+	m := mesh.MustNew(4, 4)
+	return solve.Instance{
+		Mesh:  m,
+		Model: power.KimHorowitz(),
+		Comms: workload.New(m, 7).Uniform(7, 100, 900),
+	}
+}
+
+// optBenchOptions pins the benchmarked OPT configuration: serial search
+// (parallel ns/op would track the machine's core count, not the code) on
+// a reused workspace.
+func optBenchOptions(ws *route.Workspace) solve.Options {
+	return solve.Options{Workspace: ws, ExactWorkers: 1}
+}
+
 // BenchmarkSolvers measures every tracked policy with a reused workspace —
 // the configuration the experiment engine runs — one sub-benchmark per
 // policy, allocations reported.
@@ -59,6 +81,50 @@ func BenchmarkSolvers(b *testing.B) {
 				}
 			}
 		})
+	}
+	opt, err := solve.Lookup("OPT")
+	if err != nil {
+		b.Fatal(err)
+	}
+	optIn := optBenchInstance()
+	b.Run("OPT", func(b *testing.B) {
+		opts := optBenchOptions(route.NewWorkspace())
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := opt.Route(optIn, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// maxOptAllocsPerSolve bounds OPT's per-solve allocations under a warmed
+// workspace: the incumbent-seeded branch-and-bound runs entirely on
+// pooled arenas, so a reused serial solve costs only validation, the
+// seeding heuristic's plumbing, and the routing assembly.
+const maxOptAllocsPerSolve = 24
+
+// TestOptWorkspaceAllocs is the exact solver's allocation guard: a warmed
+// exact.Workspace solve of the committed OPT bench instance must stay
+// within maxOptAllocsPerSolve allocations.
+func TestOptWorkspaceAllocs(t *testing.T) {
+	s, err := solve.Lookup("OPT")
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := optBenchInstance()
+	opts := optBenchOptions(route.NewWorkspace())
+	if _, err := s.Route(in, opts); err != nil { // warm the workspace
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(5, func() {
+		if _, err := s.Route(in, opts); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > maxOptAllocsPerSolve {
+		t.Fatalf("OPT allocates %.0f times per warmed-workspace solve, guard %d",
+			allocs, maxOptAllocsPerSolve)
 	}
 }
 
@@ -128,6 +194,35 @@ type solverBenchRow struct {
 	BytesPerOp  int64   `json:"bytes_per_op"`
 }
 
+// optBenchRow measures the exact branch-and-bound on its committed bench
+// instance (serial, reused workspace) — the BENCH_solvers.json entry that
+// tracks the incumbent-seeded search's speed per commit.
+func optBenchRow(t *testing.T) solverBenchRow {
+	t.Helper()
+	s, err := solve.Lookup("OPT")
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := optBenchInstance()
+	opts := optBenchOptions(route.NewWorkspace())
+	if _, err := s.Route(in, opts); err != nil {
+		t.Fatal(err)
+	}
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := s.Route(in, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	return solverBenchRow{
+		NsPerOp:     float64(res.NsPerOp()),
+		AllocsPerOp: res.AllocsPerOp(),
+		BytesPerOp:  res.AllocedBytesPerOp(),
+	}
+}
+
 // nocSimBenchRow measures the pooled NoC simulator on the E15 reference
 // instance under the given switching mode — the BENCH_solvers.json entry
 // cmd/benchguard tracks per mode.
@@ -195,6 +290,7 @@ func TestEmitSolverBenchJSON(t *testing.T) {
 			BytesPerOp:  res.AllocedBytesPerOp(),
 		}
 	}
+	rows["OPT"] = optBenchRow(t)
 	rows["NoCSimSF"] = nocSimBenchRow(t, noc.StoreAndForward)
 	rows["NoCSimCT"] = nocSimBenchRow(t, noc.CutThrough)
 	data, err := json.MarshalIndent(rows, "", "  ")

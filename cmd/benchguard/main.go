@@ -99,7 +99,7 @@ func main() {
 	var (
 		baseline = flag.String("baseline", "BENCH_solvers.json", "committed solver baseline JSON")
 		current  = flag.String("current", "", "freshly measured solver JSON to check")
-		policies = flag.String("policies", "XYI,SA,2MP,4MP,NoCSimSF,NoCSimCT", "comma-separated policies to guard")
+		policies = flag.String("policies", "XYI,SA,2MP,4MP,OPT,NoCSimSF,NoCSimCT", "comma-separated policies to guard")
 		factor   = flag.Float64("factor", 2, "maximum allowed solver slowdown current/baseline")
 		ref      = flag.String("ref", "XY", "reference policy that normalizes machine speed (empty = compare raw ns/op)")
 

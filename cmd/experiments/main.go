@@ -13,6 +13,7 @@
 //	experiments -spec examples/specs/smoke.json -csv out/
 //	experiments -source tornado -mesh 16x16 -policies XY,PR,MAXMP
 //	experiments -spec big.json -csv out/ -resume   # continue an interrupted sweep
+//	experiments -spec examples/specs/optgap.json -optgap -csv out/
 //	experiments -exp fig7a -cpuprofile cpu.prof -memprofile mem.prof
 //
 // The canned figure ids are aliases for canned scenario specs; everything
@@ -59,6 +60,8 @@ func main() {
 		length  = flag.Int("length", 0, "exact Manhattan length for the random family")
 		workers = flag.Int("workers", 0, "persistent sweep workers on the work-stealing scheduler (0 = all cores); output is byte-identical at every worker count")
 		resume  = flag.Bool("resume", false, "resume an interrupted sweep from the streamed CSV in -csv (skips completed points)")
+		optgap  = flag.Bool("optgap", false, "run the sweep as an optimality-gap report: each policy's mean power ratio against the exact OPT on the same instances (keep meshes and -n small)")
+		optSt   = flag.Int("optstates", 0, "per-instance OPT node budget for -optgap (0 = the default; unsolved instances are reported, not fatal)")
 		prog    = flag.Bool("progress", false, "report per-point progress on stderr")
 		cpuProf = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 		memProf = flag.String("memprofile", "", "write a pprof heap profile (post-run allocations) to this file")
@@ -70,6 +73,7 @@ func main() {
 		mesh: *meshGe, axis: *axis, points: *points, n: *nComms,
 		wmin: *wmin, wmax: *wmax, rate: *rate, length: *length,
 		workers: *workers, resume: *resume, progress: *prog,
+		optgap: *optgap, optStates: *optSt,
 	}))
 }
 
@@ -115,26 +119,28 @@ func profiledRun(cpuProf, memProf string, c cfg) int {
 }
 
 type cfg struct {
-	exp      string
-	trials   int
-	seed     int64
-	csvDir   string
-	jsonl    string
-	md       bool
-	policies []string
-	specFile string
-	source   string
-	mesh     string
-	axis     string
-	points   string
-	n        int
-	wmin     float64
-	wmax     float64
-	rate     float64
-	length   int
-	workers  int
-	resume   bool
-	progress bool
+	exp       string
+	trials    int
+	seed      int64
+	csvDir    string
+	jsonl     string
+	md        bool
+	policies  []string
+	specFile  string
+	source    string
+	mesh      string
+	axis      string
+	points    string
+	n         int
+	wmin      float64
+	wmax      float64
+	rate      float64
+	length    int
+	workers   int
+	resume    bool
+	progress  bool
+	optgap    bool
+	optStates int
 }
 
 // parseList splits a comma-separated flag into a clean list (nil when
@@ -164,6 +170,9 @@ func run(c cfg) error {
 	}
 	if c.resume && c.csvDir == "" {
 		return fmt.Errorf("-resume needs -csv: the streamed CSV is the checkpoint")
+	}
+	if c.optgap && c.resume {
+		return fmt.Errorf("-optgap does not support -resume: gap sweeps are small enough to rerun")
 	}
 
 	// Declarative sweeps: a spec file, or a spec built from flags.
@@ -280,7 +289,11 @@ func (c cfg) overrideSpec(sp scenario.Spec) scenario.Spec {
 
 // runSweep streams one spec through the sink stack selected by the
 // flags: accumulated tables on stdout, plus CSV/JSONL/progress streams.
+// Under -optgap the same spec instead streams the optimality-gap report.
 func (c cfg) runSweep(sp scenario.Spec) error {
+	if c.optgap {
+		return c.runGapSweep(sp)
+	}
 	id := sp.ID
 	if id == "" {
 		id = "sweep"
@@ -340,6 +353,38 @@ func (c cfg) runSweep(sp scenario.Spec) error {
 		return err
 	}
 	return c.render(fr)
+}
+
+// runGapSweep streams one spec's optimality-gap report: every policy of
+// the spec against the exact branch-and-bound on the same seeded
+// instances, accumulated into a table on stdout and optionally streamed
+// to <id>_optgap.csv under -csv and to markdown on stdout under -md.
+func (c cfg) runGapSweep(sp scenario.Spec) error {
+	id := sp.ID
+	if id == "" {
+		id = "sweep"
+	}
+	gts := experiments.NewGapTableSink()
+	sinks := []experiments.GapSink{gts}
+
+	var closers []io.Closer
+	defer func() {
+		for _, cl := range closers {
+			cl.Close()
+		}
+	}()
+	if c.csvDir != "" {
+		gw, err := openStream(filepath.Join(c.csvDir, sanitize(id+"_optgap")+".csv"), false, -1)
+		if err != nil {
+			return err
+		}
+		closers = append(closers, gw)
+		sinks = append(sinks, experiments.NewGapCSVSink(gw))
+	}
+	if err := experiments.OptGap(sp, experiments.GapOptions{Workers: c.workers, MaxStates: c.optStates}, sinks...); err != nil {
+		return err
+	}
+	return c.render(gts.Table())
 }
 
 // streamFile is a buffered, flushing stream target for incremental sinks.

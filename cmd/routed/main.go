@@ -8,6 +8,7 @@
 //
 //	routed -addr :8077
 //	routed -addr :8077 -shards 8 -max-sweeps 4 -cache 128 -max-trials 1000
+//	routed -addr :8077 -pprof localhost:6060
 //
 // SIGINT/SIGTERM trigger a graceful stop: the listener closes, in-flight
 // solves and sweep streams run to completion (bounded by -grace), queued
@@ -21,6 +22,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -39,8 +41,19 @@ func main() {
 		cacheN    = flag.Int("cache", 0, "completed sweeps kept in the LRU cache (0 = 64)")
 		maxTrials = flag.Int("max-trials", 0, "reject sweep specs above this trials/point (0 = unlimited)")
 		grace     = flag.Duration("grace", 5*time.Minute, "graceful-shutdown bound for in-flight requests (0 = wait forever)")
+		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address (empty = disabled); keep it loopback-only")
 	)
 	flag.Parse()
+	if *pprofAddr != "" {
+		// The pprof handlers live on the DefaultServeMux, never on the
+		// service handler — profiling stays off the public listener.
+		go func() {
+			log.Printf("routed: pprof on %s", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				log.Printf("routed: pprof server: %v", err)
+			}
+		}()
+	}
 	if err := run(*addr, *shards, *queue, *sweepW, *maxSweeps, *cacheN, *maxTrials, *grace); err != nil {
 		fmt.Fprintln(os.Stderr, "routed:", err)
 		os.Exit(1)

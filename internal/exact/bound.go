@@ -14,27 +14,35 @@ import (
 // continuous dynamic power is charged. Every routing — single- or
 // multi-path, even the unrestricted max-MP rule — consumes at least this
 // much dynamic power.
+// The implementation is O(C + D·K): each communication of direction d
+// crosses every boundary k ∈ [ksrc, ksnk), so one pass over the set fills
+// a per-direction difference array whose prefix sums are the crossing
+// traffics K^(d)_k, and the link cardinalities come from the closed-form
+// mesh.DiagonalLinkCount instead of materializing DiagonalLinks per pair.
+// Prefix-sum cancellation can leave float dust where the true traffic is
+// zero; boundaries with traffic ≤ 1e-9 are skipped, which can only lower
+// the bound and so keeps it admissible.
 func IdealShareLowerBound(m *mesh.Mesh, model power.Model, set comm.Set) float64 {
 	cont := model
 	cont.Freqs = nil
+	k1 := m.MaxDiagIndex() + 1 // diff row stride: indices 0..MaxDiagIndex per direction
+	diff := make([]float64, 4*k1)
+	for _, c := range set {
+		d := c.Direction()
+		base := (int(d) - 1) * k1
+		diff[base+m.DiagIndex(d, c.Src)] += c.Rate
+		diff[base+m.DiagIndex(d, c.Dst)] -= c.Rate
+	}
 	total := 0.0
-	for _, d := range []mesh.Quadrant{mesh.DirSE, mesh.DirSW, mesh.DirNW, mesh.DirNE} {
+	for di, d := range []mesh.Quadrant{mesh.DirSE, mesh.DirSW, mesh.DirNW, mesh.DirNE} {
+		base := di * k1
+		traffic := 0.0
 		for k := 1; k <= m.MaxDiagIndex()-1; k++ {
-			traffic := 0.0
-			for _, c := range set {
-				if c.Direction() != d {
-					continue
-				}
-				ksrc := m.DiagIndex(d, c.Src)
-				ksnk := m.DiagIndex(d, c.Dst)
-				if ksrc <= k && k < ksnk {
-					traffic += c.Rate
-				}
-			}
-			if traffic == 0 {
+			traffic += diff[base+k]
+			if traffic <= 1e-9 {
 				continue
 			}
-			n := len(m.DiagonalLinks(d, k))
+			n := m.DiagonalLinkCount(d, k)
 			if n == 0 {
 				continue
 			}

@@ -10,11 +10,23 @@ import (
 // optRoute adapts the branch-and-bound solver to the registry. Unlike the
 // heuristics, OPT proves infeasibility: when no single-path routing fits
 // the bandwidth it returns an error rather than an overloaded routing.
-func optRoute(in solve.Instance, _ solve.Options) (route.Routing, error) {
+// Under opts.Workspace the solver's own pooled Workspace rides along in a
+// scratch slot, so registry callers that amortize (the experiment
+// engine's per-worker scratch) solve without allocating; opts.ExactWorkers
+// and opts.ExactMaxStates pass through.
+func optRoute(in solve.Instance, opts solve.Options) (route.Routing, error) {
 	if err := in.Validate(); err != nil {
 		return route.Routing{}, err
 	}
-	r, ok, err := Solve(in.Mesh, in.Model, in.Comms)
+	w := NewWorkspace()
+	if opts.Workspace != nil {
+		w = opts.Workspace.Scratch("exact", func() any { return NewWorkspace() }).(*Workspace)
+	}
+	r, ok, _, err := w.Solve(in.Mesh, in.Model, in.Comms, Options{
+		Workers:   opts.ExactWorkers,
+		MaxStates: opts.ExactMaxStates,
+		Route:     opts.Workspace,
+	})
 	if err != nil {
 		return route.Routing{}, err
 	}

@@ -1,0 +1,356 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/scenario"
+	"repro/internal/tables"
+)
+
+// DefaultGapMaxStates is the per-instance search-node budget of a gap
+// sweep. Gap reports run OPT on every trial, so the budget is deliberately
+// tighter than exact.DefaultMaxStates: an instance the branch-and-bound
+// cannot close within it counts as "OPT unsolved" for that trial instead
+// of stalling the sweep.
+const DefaultGapMaxStates = 2_000_000
+
+// GapOptions tunes an optimality-gap sweep.
+type GapOptions struct {
+	// Workers is the number of persistent sweep workers (0 = GOMAXPROCS).
+	// Trial-level parallelism already saturates the cores, so each OPT
+	// solve runs serially (ExactWorkers=1) inside its worker; gap output
+	// is byte-identical at every worker count, like every sweep.
+	Workers int
+	// MaxStates is the per-instance OPT node budget
+	// (0 = DefaultGapMaxStates).
+	MaxStates int
+}
+
+// GapMeta describes a gap sweep to its sinks. Policies lists the heuristic
+// columns only — OPT is the denominator of every column, not a column.
+type GapMeta struct {
+	ID        string
+	Title     string
+	XLabel    string
+	Policies  []string
+	X         []float64
+	Trials    int
+	MaxStates int
+}
+
+// GapPoint is one fully evaluated gap point. MeanGap[i] is the mean of
+// P_heuristic/P_opt over the point's matched trials — those where both
+// the heuristic and OPT produced a feasible routing — so 1.000 means the
+// heuristic found the optimum every time and 1.050 means it paid 5% more
+// power on average. Matched[i] counts those trials (MeanGap[i] is 0 when
+// none matched); OptSolved counts the trials OPT closed within budget.
+// For single-path heuristics every gap is ≥ 1 by construction; multi-path
+// policies may dip below 1, since OPT optimizes over single-path routings
+// only.
+type GapPoint struct {
+	Index     int
+	X         float64
+	MeanGap   []float64
+	Matched   []int
+	OptSolved int
+	Trials    int
+}
+
+// GapSink consumes a gap sweep incrementally, one evaluated point at a
+// time in point order — the same streaming contract as Sink.
+type GapSink interface {
+	Begin(meta GapMeta) error
+	Point(gp GapPoint) error
+	End() error
+}
+
+// gapPrec is the cell precision of gap tables: gaps cluster near 1, so
+// they carry one digit more than the figure tables.
+const gapPrec = 4
+
+// OptGap expands a declarative spec and streams its optimality-gap report
+// point by point into the sinks: every heuristic on every seeded trial of
+// each point, plus the exact branch-and-bound OPT on the same instance,
+// reduced to per-heuristic mean power ratios against the optimum. The
+// spec's policy list names the heuristic columns (OPT, if present, is
+// dropped — it is always the denominator); small meshes and communication
+// counts keep OPT tractable.
+func OptGap(sp scenario.Spec, opt GapOptions, sinks ...GapSink) error {
+	p, err := PanelOf(sp)
+	if err != nil {
+		return err
+	}
+	return p.StreamGaps(opt, sinks...)
+}
+
+// StreamGaps runs the panel's heuristics and OPT through the pooled sweep
+// engine and emits each point's gap reduction to the sinks in point
+// order. Per-trial seeds are the sweep's (seed, point, trial) derivation,
+// so the instances under the gap report are exactly the instances of the
+// corresponding power sweep.
+func (p Panel) StreamGaps(opt GapOptions, sinks ...GapSink) error {
+	trials := p.Trials
+	if trials == 0 {
+		trials = DefaultTrials
+	}
+	heur := make([]string, 0, len(p.policyNames()))
+	for _, n := range p.policyNames() {
+		if strings.EqualFold(n, "OPT") {
+			continue
+		}
+		heur = append(heur, n)
+	}
+	if len(heur) == 0 {
+		return fmt.Errorf("experiments: gap sweep %s has no heuristic policies", p.ID)
+	}
+	q := p
+	q.Policies = append(append([]string{}, heur...), "OPT")
+	e, err := newEngine(q, trials)
+	if err != nil {
+		return err
+	}
+	ms := opt.MaxStates
+	if ms == 0 {
+		ms = DefaultGapMaxStates
+	}
+	e.opts.ExactWorkers = 1
+	e.opts.ExactMaxStates = ms
+
+	npol := len(e.solvers)
+	meta := GapMeta{
+		ID:        p.ID,
+		Title:     p.Title,
+		XLabel:    p.XLabel,
+		Policies:  e.names[:npol-1],
+		X:         xValues(p.Points),
+		Trials:    trials,
+		MaxStates: ms,
+	}
+	for _, sk := range sinks {
+		if err := sk.Begin(meta); err != nil {
+			return err
+		}
+	}
+	err = e.sweep(p.Seed, p.Points, 0, opt.Workers, func(pi int, rows []instanceOutcome) error {
+		gp := reduceGapPoint(pi, p.Points[pi].X, npol, trials, func(trial int) []instanceOutcome {
+			return rows[trial*npol : (trial+1)*npol]
+		})
+		for _, sk := range sinks {
+			if err := sk.Point(gp); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	for _, sk := range sinks {
+		if err := sk.End(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// reduceGapPoint folds one point's per-trial outcome rows (heuristics
+// first, OPT last) into its gap summary. A trial contributes to a
+// heuristic's mean only when both that heuristic and OPT were feasible on
+// the instance — OPT infeasibility proofs and budget truncations both
+// surface as infeasible outcomes and are excluded rather than skewing the
+// ratio.
+func reduceGapPoint(pi int, x float64, npol, trials int, rowAt func(trial int) []instanceOutcome) GapPoint {
+	nheur := npol - 1
+	gp := GapPoint{
+		Index:   pi,
+		X:       x,
+		MeanGap: make([]float64, nheur),
+		Matched: make([]int, nheur),
+		Trials:  trials,
+	}
+	for trial := 0; trial < trials; trial++ {
+		row := rowAt(trial)
+		opt := row[nheur]
+		if !opt.feasible || opt.pow <= 0 {
+			continue
+		}
+		gp.OptSolved++
+		for si := 0; si < nheur; si++ {
+			if o := row[si]; o.feasible {
+				gp.MeanGap[si] += o.pow / opt.pow
+				gp.Matched[si]++
+			}
+		}
+	}
+	for si := 0; si < nheur; si++ {
+		if gp.Matched[si] > 0 {
+			gp.MeanGap[si] /= float64(gp.Matched[si])
+		}
+	}
+	return gp
+}
+
+// gapCell formats one heuristic's gap cell; unmatched columns are empty
+// rather than a misleading 0.
+func gapCell(gp GapPoint, si int) string {
+	if gp.Matched[si] == 0 {
+		return ""
+	}
+	return fmt.Sprintf("%.*f", gapPrec, gp.MeanGap[si])
+}
+
+// GapCSVSink streams the gap report as CSV: one row per point, one column
+// per heuristic (mean P/P_opt, empty when no trial matched), and a final
+// opt_solved column counting the trials OPT closed.
+type GapCSVSink struct {
+	W io.Writer
+}
+
+// NewGapCSVSink returns a CSV gap sink over w.
+func NewGapCSVSink(w io.Writer) *GapCSVSink { return &GapCSVSink{W: w} }
+
+// Begin implements GapSink.
+func (s *GapCSVSink) Begin(meta GapMeta) error {
+	header := append([]string{meta.XLabel}, meta.Policies...)
+	header = append(header, "opt_solved")
+	_, err := io.WriteString(s.W, tables.CSVLine(header))
+	return err
+}
+
+// Point implements GapSink.
+func (s *GapCSVSink) Point(gp GapPoint) error {
+	cells := make([]string, 0, len(gp.MeanGap)+2)
+	cells = append(cells, xLabel(gp.X))
+	for si := range gp.MeanGap {
+		cells = append(cells, gapCell(gp, si))
+	}
+	cells = append(cells, fmt.Sprintf("%d", gp.OptSolved))
+	_, err := io.WriteString(s.W, tables.CSVLine(cells))
+	return err
+}
+
+// End implements GapSink.
+func (s *GapCSVSink) End() error { return nil }
+
+// GapMarkdownSink streams the gap report as one GitHub-flavored markdown
+// table, one row per point as it completes: each heuristic column carries
+// "gap (matched/trials)", the last column the OPT solve count.
+type GapMarkdownSink struct {
+	W io.Writer
+}
+
+// NewGapMarkdownSink returns a streaming markdown gap sink over w.
+func NewGapMarkdownSink(w io.Writer) *GapMarkdownSink { return &GapMarkdownSink{W: w} }
+
+// Begin implements GapSink.
+func (s *GapMarkdownSink) Begin(meta GapMeta) error {
+	if _, err := fmt.Fprintf(s.W, "**%s** — mean heuristic power / OPT power (matched trials)\n\n", meta.Title); err != nil {
+		return err
+	}
+	header := append([]string{meta.XLabel}, meta.Policies...)
+	header = append(header, "OPT solved")
+	if _, err := io.WriteString(s.W, tables.MarkdownRow(header)); err != nil {
+		return err
+	}
+	_, err := io.WriteString(s.W, tables.MarkdownSeparator(len(header)))
+	return err
+}
+
+// Point implements GapSink.
+func (s *GapMarkdownSink) Point(gp GapPoint) error {
+	cells := make([]string, 0, len(gp.MeanGap)+2)
+	cells = append(cells, xLabel(gp.X))
+	for si := range gp.MeanGap {
+		if gp.Matched[si] == 0 {
+			cells = append(cells, "—")
+			continue
+		}
+		cells = append(cells, fmt.Sprintf("%.*f (%d/%d)", gapPrec, gp.MeanGap[si], gp.Matched[si], gp.Trials))
+	}
+	cells = append(cells, fmt.Sprintf("%d/%d", gp.OptSolved, gp.Trials))
+	_, err := io.WriteString(s.W, tables.MarkdownRow(cells))
+	return err
+}
+
+// End implements GapSink.
+func (s *GapMarkdownSink) End() error { return nil }
+
+// GapTableSink accumulates the gap report into one aligned text table for
+// terminal rendering after the sweep completes.
+type GapTableSink struct {
+	table *tables.Table
+	meta  GapMeta
+}
+
+// NewGapTableSink returns an accumulating gap table sink.
+func NewGapTableSink() *GapTableSink { return &GapTableSink{} }
+
+// Begin implements GapSink.
+func (s *GapTableSink) Begin(meta GapMeta) error {
+	s.meta = meta
+	headers := append([]string{meta.XLabel}, meta.Policies...)
+	headers = append(headers, "OPT solved")
+	s.table = tables.New(meta.Title+" — mean power / OPT power", headers...)
+	return nil
+}
+
+// Point implements GapSink.
+func (s *GapTableSink) Point(gp GapPoint) error {
+	cells := make([]string, 0, len(gp.MeanGap)+2)
+	cells = append(cells, xLabel(gp.X))
+	for si := range gp.MeanGap {
+		if c := gapCell(gp, si); c != "" {
+			cells = append(cells, c)
+		} else {
+			cells = append(cells, "-")
+		}
+	}
+	cells = append(cells, fmt.Sprintf("%d/%d", gp.OptSolved, gp.Trials))
+	s.table.AddRow(cells...)
+	return nil
+}
+
+// End implements GapSink.
+func (s *GapTableSink) End() error { return nil }
+
+// Table returns the accumulated table (nil before Begin).
+func (s *GapTableSink) Table() *tables.Table { return s.table }
+
+// GapResult is a fully collected gap sweep, for callers (tests, the
+// repository's own analysis) that want the points in memory.
+type GapResult struct {
+	Policies  []string
+	X         []float64
+	Points    []GapPoint
+	MaxStates int
+}
+
+// gapResultSink collects a gap stream into a GapResult.
+type gapResultSink struct {
+	result GapResult
+}
+
+func (s *gapResultSink) Begin(meta GapMeta) error {
+	s.result.Policies = meta.Policies
+	s.result.X = meta.X
+	s.result.MaxStates = meta.MaxStates
+	return nil
+}
+
+func (s *gapResultSink) Point(gp GapPoint) error {
+	s.result.Points = append(s.result.Points, gp)
+	return nil
+}
+
+func (s *gapResultSink) End() error { return nil }
+
+// RunGaps evaluates the panel's gap report and collects it.
+func (p Panel) RunGaps(opt GapOptions) (GapResult, error) {
+	rs := &gapResultSink{}
+	if err := p.StreamGaps(opt, rs); err != nil {
+		return GapResult{}, err
+	}
+	return rs.result, nil
+}

@@ -1,0 +1,146 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	_ "repro/internal/core" // register every policy
+)
+
+// gapPanel is a small panel OPT closes comfortably: 4x4 mesh, few comms.
+func gapPanel() Panel {
+	return Panel{
+		ID:     "gaptest",
+		Title:  "gap test",
+		XLabel: "n",
+		Mesh:   "4x4",
+		Points: []Point{
+			{X: 3, W: Workload{N: 3, WMin: 100, WMax: 900}},
+			{X: 5, W: Workload{N: 5, WMin: 100, WMax: 900}},
+		},
+		Policies: []string{"XY", "PR", "BEST"},
+		Trials:   8,
+		Seed:     7,
+	}
+}
+
+// Every matched single-path heuristic gap is >= 1: OPT is optimal over
+// exactly the routings the heuristics choose from. This is the invariant
+// the CI smoke step asserts on the CSV output.
+func TestGapsAtLeastOne(t *testing.T) {
+	res, err := gapPanel().RunGaps(GapOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 2 {
+		t.Fatalf("expected 2 points, got %d", len(res.Points))
+	}
+	if res.MaxStates != DefaultGapMaxStates {
+		t.Fatalf("default MaxStates not applied: %d", res.MaxStates)
+	}
+	anyMatched := false
+	for _, gp := range res.Points {
+		if gp.OptSolved == 0 {
+			t.Fatalf("point x=%g: OPT solved no trials", gp.X)
+		}
+		for si, name := range res.Policies {
+			if gp.Matched[si] == 0 {
+				continue
+			}
+			anyMatched = true
+			if gp.MeanGap[si] < 1.0-1e-9 {
+				t.Fatalf("point x=%g policy %s: mean gap %.12f < 1", gp.X, name, gp.MeanGap[si])
+			}
+			if gp.Matched[si] > gp.OptSolved {
+				t.Fatalf("point x=%g policy %s: matched %d > opt solved %d", gp.X, name, gp.Matched[si], gp.OptSolved)
+			}
+		}
+	}
+	if !anyMatched {
+		t.Fatal("no trial matched any heuristic against OPT")
+	}
+}
+
+// BEST's gap is the tightest: it minimizes over the constructive
+// heuristics, so on every matched instance its ratio is <= each of
+// theirs.
+func TestGapBestIsTightest(t *testing.T) {
+	p := gapPanel()
+	p.Policies = []string{"XY", "SG", "IG", "TB", "XYI", "PR", "BEST"}
+	res, err := p.RunGaps(GapOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bi := -1
+	for i, n := range res.Policies {
+		if n == "BEST" {
+			bi = i
+		}
+	}
+	if bi < 0 {
+		t.Fatal("BEST column missing")
+	}
+	for _, gp := range res.Points {
+		if gp.Matched[bi] == 0 {
+			continue
+		}
+		for si, name := range res.Policies {
+			if si == bi || gp.Matched[si] != gp.Matched[bi] {
+				continue
+			}
+			if gp.MeanGap[bi] > gp.MeanGap[si]+1e-9 {
+				t.Fatalf("point x=%g: BEST gap %.6f exceeds %s gap %.6f", gp.X, gp.MeanGap[bi], name, gp.MeanGap[si])
+			}
+		}
+	}
+}
+
+// An explicit OPT in the spec's policy list is dropped from the columns,
+// not doubled into them.
+func TestGapDropsExplicitOPT(t *testing.T) {
+	p := gapPanel()
+	p.Policies = []string{"XY", "OPT", "PR"}
+	res, err := p.RunGaps(GapOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Policies) != 2 || res.Policies[0] != "XY" || res.Policies[1] != "PR" {
+		t.Fatalf("expected columns [XY PR], got %v", res.Policies)
+	}
+}
+
+// Gap output is byte-identical at every worker count — the sweep engine's
+// ordered merge plus OPT's own determinism contract.
+func TestGapDeterministicAcrossWorkers(t *testing.T) {
+	p := gapPanel()
+	var outs []string
+	for _, workers := range []int{1, 3} {
+		var csv, md strings.Builder
+		if err := p.StreamGaps(GapOptions{Workers: workers}, NewGapCSVSink(&csv), NewGapMarkdownSink(&md)); err != nil {
+			t.Fatal(err)
+		}
+		outs = append(outs, csv.String()+"\n----\n"+md.String())
+	}
+	if outs[0] != outs[1] {
+		t.Fatalf("gap output differs between 1 and 3 workers:\n%s\nvs\n%s", outs[0], outs[1])
+	}
+}
+
+// A starved budget surfaces as unsolved trials, not an error or a wrong
+// ratio: with MaxStates=1 OPT closes nothing.
+func TestGapBudgetTruncation(t *testing.T) {
+	res, err := gapPanel().RunGaps(GapOptions{MaxStates: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, gp := range res.Points {
+		if gp.OptSolved != 0 {
+			t.Fatalf("point x=%g: OPT solved %d trials on a 1-state budget", gp.X, gp.OptSolved)
+		}
+		for si, m := range gp.Matched {
+			if m != 0 || gp.MeanGap[si] != 0 {
+				t.Fatalf("point x=%g: matched=%d gap=%g with OPT unsolved", gp.X, m, gp.MeanGap[si])
+			}
+		}
+	}
+}

@@ -1,6 +1,9 @@
 package mesh
 
-import "math/big"
+import (
+	"math/big"
+	"math/bits"
+)
 
 // PathCount returns the number of Manhattan paths between two cores.
 // By Lemma 1 this is the binomial coefficient C(Δu+Δv, Δu) where
@@ -14,14 +17,28 @@ func PathCount(a, b Coord) *big.Int {
 }
 
 // PathCount64 returns the Manhattan path count as a uint64 and a flag
-// reporting whether the value fits without overflow. It is a convenience
-// for the small meshes used in the experiments.
+// reporting whether the value fits without overflow. It is the
+// allocation-free form the exact solver's prepare path calls per comm:
+// the multiplicative binomial C(n, k) = Π (n−k+i)/i stays integral at
+// every step (the running value after step i is C(n−k+i, i)), so plain
+// uint64 arithmetic with an overflow check replaces big.Int.
 func PathCount64(a, b Coord) (n uint64, ok bool) {
-	c := PathCount(a, b)
-	if !c.IsUint64() {
-		return 0, false
+	du := uint64(abs(a.U - b.U))
+	dv := uint64(abs(a.V - b.V))
+	k := du
+	if dv < k {
+		k = dv
 	}
-	return c.Uint64(), true
+	total := du + dv
+	r := uint64(1)
+	for i := uint64(1); i <= k; i++ {
+		hi, lo := bits.Mul64(r, total-k+i)
+		if hi != 0 {
+			return 0, false
+		}
+		r = lo / i
+	}
+	return r, true
 }
 
 // EnumeratePaths returns every Manhattan path from src to dst as link

@@ -137,6 +137,52 @@ func (m *Mesh) diagRowRange(d Quadrant, k int) (uMin, uMax, vBase, vStep int) {
 	return uMin, uMax, vBase, vStep
 }
 
+// DiagonalLinkCount returns len(DiagonalLinks(d, k)) in O(1), without
+// materializing the link set: the cores of D^(d)_k form a row interval of
+// the closed form diagRowRange, and each of the family's two moves stays
+// in-mesh on a sub-interval of it given by two linear inequalities in the
+// row. The lower-bound sums of Theorems 1 and 2 only need the
+// cardinality, so this replaces an O(p·q) scan plus an allocation per
+// (d, k) pair.
+func (m *Mesh) DiagonalLinkCount(d Quadrant, k int) int {
+	uMin, uMax, vBase, vStep := m.diagRowRange(d, k)
+	if uMin > uMax {
+		return 0
+	}
+	count := 0
+	for _, mv := range d.Moves() {
+		du, dv := mv.Delta()
+		lo, hi := uMin, uMax
+		// 1 ≤ u+du ≤ p
+		if l := 1 - du; l > lo {
+			lo = l
+		}
+		if h := m.p - du; h < hi {
+			hi = h
+		}
+		// 1 ≤ vBase + vStep·u + dv ≤ q
+		if vStep == 1 {
+			if l := 1 - dv - vBase; l > lo {
+				lo = l
+			}
+			if h := m.q - dv - vBase; h < hi {
+				hi = h
+			}
+		} else {
+			if l := vBase + dv - m.q; l > lo {
+				lo = l
+			}
+			if h := vBase + dv - 1; h < hi {
+				hi = h
+			}
+		}
+		if hi >= lo {
+			count += hi - lo + 1
+		}
+	}
+	return count
+}
+
 // Box is an axis-aligned rectangle of cores, used as the bounding box of a
 // communication: every Manhattan path from src to dst stays inside
 // Box of(src, dst).

@@ -162,6 +162,24 @@ func TestDiagonalLinkCountsMatchTheorem(t *testing.T) {
 	}
 }
 
+// The closed-form DiagonalLinkCount agrees with the materialized link set
+// for every family and every index, including out-of-range ones, across
+// square, flat, and tall meshes.
+func TestDiagonalLinkCountMatchesDiagonalLinks(t *testing.T) {
+	for _, dims := range [][2]int{{1, 1}, {1, 6}, {2, 2}, {3, 5}, {4, 7}, {7, 4}, {8, 8}} {
+		m := MustNew(dims[0], dims[1])
+		for _, d := range []Quadrant{DirSE, DirSW, DirNW, DirNE} {
+			for k := -1; k <= m.MaxDiagIndex()+2; k++ {
+				want := len(m.DiagonalLinks(d, k))
+				if got := m.DiagonalLinkCount(d, k); got != want {
+					t.Errorf("%dx%d %v k=%d: DiagonalLinkCount=%d, len(DiagonalLinks)=%d",
+						dims[0], dims[1], d, k, got, want)
+				}
+			}
+		}
+	}
+}
+
 // Each link lies between successive diagonals in exactly two of the four
 // families (remark in the proof of Theorem 2).
 func TestLinkBelongsToTwoFamilies(t *testing.T) {

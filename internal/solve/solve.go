@@ -66,6 +66,14 @@ type Options struct {
 	// order-sensitive greedy heuristics (zero value is the paper's
 	// weight-descending).
 	Order comm.Order
+	// ExactWorkers caps the parallel workers of the OPT branch-and-bound
+	// (0 = GOMAXPROCS). OPT's routing is byte-identical at every worker
+	// count; callers that already parallelize across solves set 1 to
+	// avoid oversubscription.
+	ExactWorkers int
+	// ExactMaxStates overrides OPT's search-node budget
+	// (0 = exact.DefaultMaxStates).
+	ExactMaxStates int
 	// Workspace, when non-nil, lets the policy reuse dense scratch state
 	// (per-comm path slots, load trackers, frontier bitsets) across calls
 	// — the amortization hook of the experiment engine's per-worker
