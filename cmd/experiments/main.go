@@ -23,15 +23,19 @@ package main
 
 import (
 	"bufio"
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"strconv"
 	"strings"
+	"syscall"
 
 	"repro/internal/core"
 	"repro/internal/experiments"
@@ -345,7 +349,31 @@ func (c cfg) runSweep(sp scenario.Spec) error {
 	if c.progress {
 		sinks = append(sinks, experiments.NewProgressSink(os.Stderr))
 	}
-	if err := experiments.Sweep(sp, experiments.SweepOptions{Start: start, Workers: c.workers}, sinks...); err != nil {
+	// The counter sits last in the sink stack, so a point counts as
+	// checkpointed only after the CSV/JSONL sinks ahead of it flushed it
+	// to disk — the index the resume hint reports is always replayable.
+	pc := &pointCounter{}
+	sinks = append(sinks, pc)
+	// SIGINT/SIGTERM cancel the sweep instead of killing the process
+	// mid-write: workers drain, files close with whole rows, and the
+	// interrupted run reports how to pick up where it stopped.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+	err := experiments.Sweep(sp, experiments.SweepOptions{Start: start, Workers: c.workers, Context: ctx}, sinks...)
+	if errors.Is(err, context.Canceled) {
+		fmt.Fprintf(os.Stderr, "experiments: interrupted: %d/%d points checkpointed\n", pc.done, pc.total)
+		if c.csvDir != "" {
+			cmd := strings.Join(os.Args, " ")
+			if !c.resume {
+				cmd += " -resume"
+			}
+			fmt.Fprintf(os.Stderr, "experiments: continue from point %d with:\n  %s\n", pc.done, cmd)
+		} else {
+			fmt.Fprintln(os.Stderr, "experiments: rerun with -csv to checkpoint interruptible sweeps (-resume continues them)")
+		}
+		return err
+	}
+	if err != nil {
 		return err
 	}
 	np, fr := ts.Tables()
@@ -386,6 +414,26 @@ func (c cfg) runGapSweep(sp scenario.Spec) error {
 	}
 	return c.render(gts.Table())
 }
+
+// pointCounter is the sink that tracks the resume checkpoint: how many
+// points (counting any resumed prefix) the sinks before it have already
+// streamed. Sinks run sequentially on the sweep's merge goroutine, so
+// plain fields suffice.
+type pointCounter struct {
+	done, total int
+}
+
+func (p *pointCounter) Begin(meta experiments.SweepMeta) error {
+	p.done, p.total = meta.Start, len(meta.X)
+	return nil
+}
+
+func (p *pointCounter) Point(pr experiments.PointResult) error {
+	p.done = pr.Index + 1
+	return nil
+}
+
+func (p *pointCounter) End() error { return nil }
 
 // streamFile is a buffered, flushing stream target for incremental sinks.
 type streamFile struct {

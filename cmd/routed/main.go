@@ -8,9 +8,11 @@
 //
 //	routed -addr :8077
 //	routed -addr :8077 -shards 8 -max-sweeps 4 -cache 128 -max-trials 1000
+//	routed -addr :8077 -solve-timeout 10s -sweep-timeout 5m
 //	routed -addr :8077 -pprof localhost:6060
 //
-// SIGINT/SIGTERM trigger a graceful stop: the listener closes, in-flight
+// SIGINT/SIGTERM trigger a graceful stop: /readyz flips unready so load
+// balancers stop routing new traffic, the listener closes, in-flight
 // solves and sweep streams run to completion (bounded by -grace), queued
 // solve jobs are drained, and the final stats counters are logged.
 package main
@@ -40,6 +42,8 @@ func main() {
 		maxSweeps = flag.Int("max-sweeps", 0, "concurrently executing sweeps (0 = 2)")
 		cacheN    = flag.Int("cache", 0, "completed sweeps kept in the LRU cache (0 = 64)")
 		maxTrials = flag.Int("max-trials", 0, "reject sweep specs above this trials/point (0 = unlimited)")
+		solveTO   = flag.Duration("solve-timeout", 0, "per-request /solve deadline; expiry answers 504 and aborts the solve mid-search (0 = none)")
+		sweepTO   = flag.Duration("sweep-timeout", 0, "per-run sweep deadline; expiry ends the stream with a terminal error record (0 = none)")
 		grace     = flag.Duration("grace", 5*time.Minute, "graceful-shutdown bound for in-flight requests (0 = wait forever)")
 		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address (empty = disabled); keep it loopback-only")
 	)
@@ -54,21 +58,24 @@ func main() {
 			}
 		}()
 	}
-	if err := run(*addr, *shards, *queue, *sweepW, *maxSweeps, *cacheN, *maxTrials, *grace); err != nil {
+	cfg := serve.Config{
+		SolveShards:  *shards,
+		ShardQueue:   *queue,
+		SweepWorkers: *sweepW,
+		MaxSweeps:    *maxSweeps,
+		CacheEntries: *cacheN,
+		MaxTrials:    *maxTrials,
+		SolveTimeout: *solveTO,
+		SweepTimeout: *sweepTO,
+	}
+	if err := run(*addr, cfg, *grace); err != nil {
 		fmt.Fprintln(os.Stderr, "routed:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, shards, queue, sweepW, maxSweeps, cacheN, maxTrials int, grace time.Duration) error {
-	srv := serve.New(serve.Config{
-		SolveShards:  shards,
-		ShardQueue:   queue,
-		SweepWorkers: sweepW,
-		MaxSweeps:    maxSweeps,
-		CacheEntries: cacheN,
-		MaxTrials:    maxTrials,
-	})
+func run(addr string, cfg serve.Config, grace time.Duration) error {
+	srv := serve.New(cfg)
 	hs := &http.Server{Addr: addr, Handler: srv.Handler()}
 
 	errc := make(chan error, 1)
@@ -84,6 +91,10 @@ func run(addr string, shards, queue, sweepW, maxSweeps, cacheN, maxTrials int, g
 		srv.Close()
 		return err
 	case s := <-sig:
+		// Unready first: a load balancer probing /readyz pulls this
+		// instance from rotation while the listener finishes in-flight
+		// work below.
+		srv.BeginDrain()
 		log.Printf("routed: %v, draining", s)
 	}
 
@@ -98,8 +109,9 @@ func run(addr string, shards, queue, sweepW, maxSweeps, cacheN, maxTrials int, g
 	shutdownErr := hs.Shutdown(ctx)
 	srv.Close()
 	st := srv.Stats()
-	log.Printf("routed: drained (solves=%d rejects=%d sweeps=%d hits=%d misses=%d attaches=%d)",
-		st.Solves, st.SolveRejects, st.SweepsRun, st.CacheHits, st.CacheMisses, st.CacheAttaches)
+	log.Printf("routed: drained (solves=%d rejects=%d sweeps=%d hits=%d misses=%d attaches=%d panics=%d canceled=%d timeouts=%d)",
+		st.Solves, st.SolveRejects, st.SweepsRun, st.CacheHits, st.CacheMisses, st.CacheAttaches,
+		st.Panics, st.Canceled, st.Timeouts)
 	if shutdownErr != nil && !errors.Is(shutdownErr, context.DeadlineExceeded) {
 		return shutdownErr
 	}

@@ -20,12 +20,18 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
+	"net/url"
 	"os"
+	"strconv"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/mesh"
 	"repro/internal/serve"
@@ -46,9 +52,11 @@ func main() {
 		policy   = flag.String("policy", "XYI", "routing policy for solve mode")
 		seed     = flag.Int64("seed", 1, "workload seed for solve mode")
 		out      = flag.String("json", "", "write the report JSON to this file (default stdout)")
+		timeout  = flag.Duration("timeout", 2*time.Minute, "per-request HTTP timeout, headers to full body (0 = unbounded)")
+		retries  = flag.Int("retries", 3, "max retries per request after 503 backpressure (0 = fail immediately)")
 	)
 	flag.Parse()
-	if err := run(*url, *mode, *clients, *requests, *spec, *meshGeo, *n, *wmin, *wmax, *policy, *seed, *out); err != nil {
+	if err := run(*url, *mode, *clients, *requests, *spec, *meshGeo, *n, *wmin, *wmax, *policy, *seed, *out, *timeout, *retries); err != nil {
 		fmt.Fprintln(os.Stderr, "routeload:", err)
 		os.Exit(1)
 	}
@@ -61,14 +69,25 @@ type report struct {
 	URL  string `json:"url"`
 	serve.LoadReport
 	Mismatches int `json:"mismatches,omitempty"`
+	// Retries counts 503-backpressure retries (each honored Retry-After
+	// or backoff sleep); Timeouts counts requests abandoned by the
+	// client-side -timeout deadline.
+	Retries  uint64 `json:"retries"`
+	Timeouts uint64 `json:"timeouts"`
 }
 
-func run(url, mode string, clients, requests int, specFile, meshGeo string, n int, wmin, wmax float64, policy string, seed int64, out string) error {
-	client := &http.Client{Transport: &http.Transport{
-		MaxIdleConns:        clients,
-		MaxIdleConnsPerHost: clients,
-	}}
-	rep := report{Mode: mode, URL: url}
+func run(baseURL, mode string, clients, requests int, specFile, meshGeo string, n int, wmin, wmax float64, policy string, seed int64, out string, timeout time.Duration, maxRetries int) error {
+	ld := &loader{
+		client: &http.Client{
+			Timeout: timeout,
+			Transport: &http.Transport{
+				MaxIdleConns:        clients,
+				MaxIdleConnsPerHost: clients,
+			},
+		},
+		maxRetries: maxRetries,
+	}
+	rep := report{Mode: mode, URL: baseURL}
 	switch mode {
 	case "solve":
 		body, err := solveBody(meshGeo, n, wmin, wmax, policy, seed)
@@ -76,7 +95,7 @@ func run(url, mode string, clients, requests int, specFile, meshGeo string, n in
 			return err
 		}
 		rep.LoadReport = serve.RunLoad(serve.LoadConfig{Clients: clients, Requests: requests}, func(_, _ int) error {
-			return post(client, url+"/solve", body, nil)
+			return ld.post(baseURL+"/solve", body, nil)
 		})
 	case "sweep":
 		if specFile == "" {
@@ -92,7 +111,7 @@ func run(url, mode string, clients, requests int, specFile, meshGeo string, n in
 			mismatches int
 		)
 		rep.LoadReport = serve.RunLoad(serve.LoadConfig{Clients: clients, Requests: requests}, func(_, _ int) error {
-			return post(client, url+"/sweep", body, func(resp []byte) error {
+			return ld.post(baseURL+"/sweep", body, func(resp []byte) error {
 				mu.Lock()
 				defer mu.Unlock()
 				if reference == nil {
@@ -110,6 +129,8 @@ func run(url, mode string, clients, requests int, specFile, meshGeo string, n in
 	default:
 		return fmt.Errorf("unknown mode %q (want solve or sweep)", mode)
 	}
+	rep.Retries = ld.retries.Load()
+	rep.Timeouts = ld.timeouts.Load()
 
 	w := os.Stdout
 	if out != "" {
@@ -154,23 +175,90 @@ func solveBody(meshGeo string, n int, wmin, wmax float64, policy string, seed in
 	return json.Marshal(req)
 }
 
+// loader is the shared request machinery of every client goroutine: the
+// timeout-bounded HTTP client, the 503 retry policy, and the counters the
+// report surfaces.
+type loader struct {
+	client     *http.Client
+	maxRetries int
+	retries    atomic.Uint64
+	timeouts   atomic.Uint64
+}
+
 // post issues one request, draining the body; check, when non-nil,
-// receives the full response bytes.
-func post(client *http.Client, url string, body []byte, check func([]byte) error) error {
-	resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+// receives the full response bytes. A 503 answer — the server's
+// backpressure guardrail — is retried up to maxRetries times, sleeping
+// the server's Retry-After hint when it sends one and an exponential
+// backoff with jitter otherwise, so a shed fleet does not stampede back
+// in lockstep. Client-side timeout expiries are counted and returned as
+// failures.
+func (l *loader) post(url string, body []byte, check func([]byte) error) error {
+	for attempt := 0; ; attempt++ {
+		data, status, retryAfter, err := l.once(url, body)
+		if err != nil {
+			if isTimeout(err) {
+				l.timeouts.Add(1)
+			}
+			return err
+		}
+		if status == http.StatusServiceUnavailable && attempt < l.maxRetries {
+			l.retries.Add(1)
+			time.Sleep(backoff(retryAfter, attempt))
+			continue
+		}
+		if status != http.StatusOK {
+			return fmt.Errorf("status %d: %s", status, data)
+		}
+		if check != nil {
+			return check(data)
+		}
+		return nil
+	}
+}
+
+// once issues a single attempt, returning the full body, status, and the
+// Retry-After header (empty when absent).
+func (l *loader) once(url string, body []byte) ([]byte, int, string, error) {
+	resp, err := l.client.Post(url, "application/json", bytes.NewReader(body))
 	if err != nil {
-		return err
+		return nil, 0, "", err
 	}
 	defer resp.Body.Close()
 	data, err := io.ReadAll(resp.Body)
 	if err != nil {
-		return err
+		return nil, 0, "", err
 	}
-	if resp.StatusCode != http.StatusOK {
-		return fmt.Errorf("status %d: %s", resp.StatusCode, data)
+	return data, resp.StatusCode, resp.Header.Get("Retry-After"), nil
+}
+
+// isTimeout reports whether err was the client deadline expiring (either
+// while waiting for headers or mid-body).
+func isTimeout(err error) bool {
+	var ue *url.Error
+	if errors.As(err, &ue) && ue.Timeout() {
+		return true
 	}
-	if check != nil {
-		return check(data)
+	var to interface{ Timeout() bool }
+	return errors.As(err, &to) && to.Timeout()
+}
+
+// backoff picks the sleep before retry number attempt (0-based): the
+// server's Retry-After seconds when it sent the header, else
+// 100ms·2^attempt capped at 5s — both spread by ±50% jitter.
+func backoff(retryAfter string, attempt int) time.Duration {
+	d := 100 * time.Millisecond << attempt
+	if d > 5*time.Second {
+		d = 5 * time.Second
 	}
-	return nil
+	if s, err := strconv.Atoi(retryAfter); err == nil && s >= 0 {
+		d = time.Duration(s) * time.Second
+		if d > 30*time.Second {
+			d = 30 * time.Second
+		}
+	}
+	half := d / 2
+	if half <= 0 {
+		return d
+	}
+	return half + time.Duration(rand.Int63n(int64(d)))
 }

@@ -43,6 +43,7 @@
 package exact
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 
@@ -51,6 +52,16 @@ import (
 	"repro/internal/power"
 	"repro/internal/route"
 )
+
+// ErrStopped is returned by Solve when Options.Stop reported true before
+// the search completed — cancellation, not infeasibility or truncation.
+var ErrStopped = errors.New("exact: search stopped by Options.Stop")
+
+// stopNodeStride is the node period of the Stop poll: the predicate runs
+// once per this many explored nodes (on the count the budget charge
+// already maintains), so an installed hook costs one modulo next to the
+// existing atomic add and a deadline still binds within microseconds.
+const stopNodeStride = 1024
 
 // DefaultMaxStates bounds the number of branch-and-bound nodes explored
 // before Solve gives up, protecting tests from exponential blow-ups.
@@ -83,6 +94,11 @@ type Options struct {
 	// incumbent-seeding BEST heuristic (and only to it), letting registry
 	// callers share one scratch across the seed and their own solves.
 	Route *route.Workspace
+	// Stop, when non-nil, is polled every stopNodeStride explored nodes;
+	// once it reports true every worker unwinds and Solve returns
+	// ErrStopped. An unstopped search explores exactly the nodes it would
+	// without the hook.
+	Stop func() bool
 }
 
 // Stats reports how a Solve call went.
@@ -139,6 +155,8 @@ func (w *Workspace) Solve(m *mesh.Mesh, model power.Model, set comm.Set, opt Opt
 	w.maxStates = int64(maxStates)
 	w.nodeCount.Store(0)
 	w.truncated.Store(false)
+	w.stop = opt.Stop
+	w.stopped.Store(false)
 	w.best.reset()
 
 	n := len(w.order)
@@ -185,6 +203,12 @@ func (w *Workspace) Solve(m *mesh.Mesh, model power.Model, set comm.Set, opt Opt
 	}
 
 	st.States = w.nodeCount.Load()
+	if w.stopped.Load() {
+		// Cancellation outranks truncation: a stopped search proved
+		// nothing, so neither the incumbent nor the budget verdict may
+		// leak out as a result.
+		return route.Routing{}, false, st, ErrStopped
+	}
 	st.Truncated = w.truncated.Load()
 	if st.Truncated {
 		return route.Routing{}, false, st, fmt.Errorf("exact: search exceeded %d states", maxStates)

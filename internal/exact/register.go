@@ -1,6 +1,7 @@
 package exact
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/route"
@@ -26,8 +27,12 @@ func optRoute(in solve.Instance, opts solve.Options) (route.Routing, error) {
 		Workers:   opts.ExactWorkers,
 		MaxStates: opts.ExactMaxStates,
 		Route:     opts.Workspace,
+		Stop:      opts.Stop,
 	})
 	if err != nil {
+		if errors.Is(err, ErrStopped) {
+			return route.Routing{}, solve.ErrStopped
+		}
 		return route.Routing{}, err
 	}
 	if !ok {

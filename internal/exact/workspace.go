@@ -72,6 +72,8 @@ type Workspace struct {
 	maxStates int64
 	nodeCount atomic.Int64
 	truncated atomic.Bool
+	stop      func() bool // Options.Stop, polled by charge
+	stopped   atomic.Bool // latched once stop reports true
 	best      incumbent
 	wg        sync.WaitGroup
 
@@ -141,12 +143,25 @@ func (w *Workspace) incident(l int) []int32 {
 	return w.incBuf[w.incOff[l]:w.incOff[l+1]]
 }
 
-// charge consumes one node of the state budget; false means the budget
-// denied the node, which marks the whole search truncated.
+// charge consumes one node of the state budget; false means the node was
+// denied — the budget marked the search truncated, or Options.Stop
+// cancelled it. With no stop hook the fast path is unchanged; with one,
+// the cost per node is a latch load plus a stride-gated predicate call on
+// the count the budget already maintains.
 func (w *Workspace) charge() bool {
-	if w.nodeCount.Add(1) > w.maxStates {
+	n := w.nodeCount.Add(1)
+	if n > w.maxStates {
 		w.truncated.Store(true)
 		return false
+	}
+	if w.stop != nil {
+		if w.stopped.Load() {
+			return false
+		}
+		if n%stopNodeStride == 0 && w.stop() {
+			w.stopped.Store(true)
+			return false
+		}
 	}
 	return true
 }

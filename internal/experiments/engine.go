@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -40,6 +41,13 @@ type engine struct {
 	// bestIdx is -1 when the shortcut does not apply.
 	bestIdx  int
 	bestFrom []int
+
+	// stop, when non-nil, is the sweep's cancellation poll (derived from
+	// SweepOptions.Context): checked before every trial and threaded into
+	// solve.Options.Stop so deadlines bind inside long solves, not just
+	// between them. trialStart is SweepOptions.TrialStart.
+	stop       func() bool
+	trialStart func(point, trial int)
 }
 
 func newEngine(p Panel, trials int) (*engine, error) {
@@ -157,6 +165,12 @@ func trialSeed(panelSeed int64, point, trial int) int64 {
 // runTrial draws and evaluates one seeded trial of one point, writing
 // every policy's outcome into the trial's row.
 func (e *engine) runTrial(s *sweepScratch, panelSeed int64, pi, trial int, pt Point, row []instanceOutcome) error {
+	if e.stop != nil && e.stop() {
+		return solve.ErrStopped
+	}
+	if e.trialStart != nil {
+		e.trialStart(pi, trial)
+	}
 	seed := trialSeed(panelSeed, pi, trial)
 	set, err := s.drawer(e, pi, pt.W).Draw(seed, s.set)
 	if err != nil {
@@ -167,12 +181,18 @@ func (e *engine) runTrial(s *sweepScratch, panelSeed int64, pi, trial int, pt Po
 	opts := e.opts
 	opts.Seed = seed
 	opts.Workspace = s.ws
+	opts.Stop = e.stop
 	for si, solver := range e.solvers {
 		if si == e.bestIdx {
 			continue // derived below
 		}
 		r, err := solver.Route(in, opts)
 		if err != nil {
+			if errors.Is(err, solve.ErrStopped) {
+				// Cancellation, not a solver failure: halt the sweep
+				// instead of scoring the trial as infeasible.
+				return err
+			}
 			// Policies that prove infeasibility (OPT) or blow a search
 			// budget surface as errors; the panel counts them as
 			// failures, like the paper counts heuristic failures.
@@ -272,12 +292,19 @@ func (e *engine) sweep(panelSeed int64, points []Point, start, workers int, emit
 	}
 
 	var sinkErr firstError
+	// The fleet halts on the first sink error or, when the sweep carries a
+	// cancellation poll, as soon as it fires — workers stop pulling chunks
+	// and the merge loop drains whatever already completed.
+	haltFleet := sinkErr.Failed
+	if e.stop != nil {
+		haltFleet = func() bool { return sinkErr.Failed() || e.stop() }
+	}
 	var schedErr error
 	sched := make(chan struct{})
 	go func() {
 		defer close(sched)
 		defer close(completed)
-		schedErr = runStealing(chunks, workers, sinkErr.Failed,
+		schedErr = runStealing(chunks, workers, haltFleet,
 			func() *sweepScratch { return e.newSweepScratch(npts) }, run, done)
 	}()
 

@@ -1,9 +1,27 @@
 package experiments
 
 import (
+	"fmt"
 	"sync"
 	"sync/atomic"
 )
+
+// PanicError is a panic recovered on a sweep worker goroutine, converted
+// into the sweep's error so one panicking solver (or fault-injection
+// hook) fails the run instead of crashing the process. Callers detect it
+// with errors.As — the serving layer counts these separately from
+// ordinary solve failures.
+type PanicError struct {
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the worker's stack at recovery time.
+	Stack []byte
+}
+
+// Error implements error.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("experiments: worker panic: %v", e.Value)
+}
 
 // firstError collects the first error reported across concurrent
 // workers — the one shared implementation of the errMu/firstErr pattern

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -106,6 +107,19 @@ type SweepOptions struct {
 	// sinks strictly in point order, so every worker count — including
 	// the serial Workers=1 reference — streams byte-identical output.
 	Workers int
+	// Context, when non-nil, cancels the sweep: workers stop pulling
+	// chunks, in-flight long solves abandon via solve.Options.Stop, and
+	// Stream returns the context's error. Points already released to the
+	// sinks stay valid checkpoints (the resume contract), the sinks' End
+	// is never called on a cancelled run, and a nil or never-cancelled
+	// Context leaves the output byte-identical to a run without one.
+	Context context.Context
+	// TrialStart, when non-nil, runs on the executing worker immediately
+	// before every (point, trial) evaluation. It is the fault-injection
+	// and instrumentation hook of the serving layer's chaos harness: it
+	// may sleep (latency spikes) or panic (contained like a solver
+	// panic). It must be safe for concurrent calls.
+	TrialStart func(point, trial int)
 }
 
 // Sweep expands a declarative spec and streams its evaluation point by
@@ -135,6 +149,10 @@ func (p Panel) Stream(opt SweepOptions, sinks ...Sink) error {
 	if err != nil {
 		return err
 	}
+	if ctx := opt.Context; ctx != nil {
+		e.stop = func() bool { return ctx.Err() != nil }
+	}
+	e.trialStart = opt.TrialStart
 	if opt.Start < 0 || opt.Start > len(p.Points) {
 		return fmt.Errorf("experiments: resume point %d outside 0..%d", opt.Start, len(p.Points))
 	}
@@ -164,6 +182,12 @@ func (p Panel) Stream(opt SweepOptions, sinks ...Sink) error {
 		}
 		return nil
 	})
+	if ctx := opt.Context; ctx != nil && ctx.Err() != nil {
+		// Cancellation dominates whatever the halt surfaced as on the
+		// workers (a stopped solver, a chunk abandoned between polls): the
+		// caller asked the sweep to stop and gets the context's verdict.
+		return ctx.Err()
+	}
 	if err != nil {
 		return err
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"runtime/debug"
 	"sync"
 )
 
@@ -113,7 +114,17 @@ func runStealing[S any](chunks []chunk, workers int, stop func() bool, newScratc
 	halted := func() bool {
 		return ferr.Failed() || (stop != nil && stop())
 	}
-	exec := func(worker int, s S, c chunk) bool {
+	exec := func(worker int, s S, c chunk) (ok bool) {
+		// Failure containment: a panic on a worker (a solver bug, a
+		// fault-injection hook) becomes the sweep's first error instead of
+		// crashing the process — the fleet halts and the caller sees a
+		// typed PanicError.
+		defer func() {
+			if r := recover(); r != nil {
+				ferr.Report(&PanicError{Value: r, Stack: debug.Stack()})
+				ok = false
+			}
+		}()
 		if stealTestHook != nil {
 			stealTestHook(worker, c)
 		}

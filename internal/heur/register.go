@@ -43,7 +43,7 @@ func init() {
 		{"XYI", func(solve.Options) Heuristic { return XYI{} }},
 		{"PR", func(solve.Options) Heuristic { return PR{} }},
 		{"BEST", func(o solve.Options) Heuristic { return Best{Heuristics: orderSensitive(o)} }},
-		{"SA", func(o solve.Options) Heuristic { return SA{Seed: o.Seed, Iters: o.SAIters} }},
+		{"SA", func(o solve.Options) Heuristic { return SA{Seed: o.Seed, Iters: o.SAIters, Stop: o.Stop} }},
 	} {
 		solve.Register(s)
 	}

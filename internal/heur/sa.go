@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/mesh"
 	"repro/internal/route"
+	"repro/internal/solve"
 )
 
 // SA is a simulated-annealing single-path refiner — an extension beyond
@@ -30,7 +31,17 @@ type SA struct {
 	Seed int64
 	// Iters is the move budget (default 300 moves per communication).
 	Iters int
+	// Stop, when non-nil, is polled every stopStride anneal moves (and
+	// once per hill-climb pass); true abandons the solve with
+	// solve.ErrStopped. The poll never touches the RNG, so an unstopped
+	// run's routing is byte-identical with or without the hook.
+	Stop func() bool
 }
+
+// stopStride is the anneal loop's Stop poll period: coarse enough that
+// an always-false predicate is noise next to a move evaluation, fine
+// enough that a deadline binds within microseconds.
+const stopStride = 64
 
 // Name returns "SA".
 func (SA) Name() string { return "SA" }
@@ -148,6 +159,9 @@ func (h SA) RouteInto(in Instance, ws *route.Workspace) (route.Routing, error) {
 	sc.tbPaths = tb
 
 	for it := 0; it < iters; it++ {
+		if h.Stop != nil && it%stopStride == 0 && h.Stop() {
+			return route.Routing{}, solve.ErrStopped
+		}
 		temp *= cooling
 		pos := rng.Intn(len(comms))
 		c := comms[pos]
@@ -227,6 +241,9 @@ func (h SA) RouteInto(in Instance, ws *route.Workspace) (route.Routing, error) {
 		}
 	}
 	for pending > 0 {
+		if h.Stop != nil && h.Stop() {
+			return route.Routing{}, solve.ErrStopped
+		}
 		for pos, c := range comms {
 			if !sc.needEval[pos] {
 				continue

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"container/list"
+	"context"
 	"sync"
 )
 
@@ -35,12 +36,23 @@ type sweepEntry struct {
 	done bool
 	err  error
 
+	// refs counts the HTTP streams attached to the entry (the submitter
+	// that won the singleflight race included), guarded by the owning
+	// cache's mu. When the last attached stream releases an entry whose
+	// run is still in flight, runCtx is cancelled — nobody is listening,
+	// so the engine drains instead of computing into the void. Cancelled
+	// partial runs are abandoned, never cached.
+	refs   int
+	runCtx context.Context
+	cancel context.CancelFunc
+
 	elem *list.Element // LRU position once completed (nil while in flight)
 }
 
 func newSweepEntry(hash string) *sweepEntry {
 	e := &sweepEntry{hash: hash}
 	e.cond.L = &e.mu
+	e.runCtx, e.cancel = context.WithCancel(context.Background())
 	return e
 }
 
@@ -67,9 +79,24 @@ func (e *sweepEntry) finish(err error) {
 // stream copies the entry to w from the beginning, following the live
 // buffer until the sweep completes; flush, when non-nil, runs after every
 // chunk so per-point lines reach a streaming HTTP client as they are
-// evaluated. It returns the write error (the client went away — the sweep
-// itself is unaffected) or the sweep's own error for a failed run.
-func (e *sweepEntry) stream(w writerFunc, flush func()) error {
+// evaluated. ctx, when non-nil, bounds the read side: a reader blocked in
+// Wait wakes when the request context dies (the disconnect signal HTTP
+// write errors alone cannot deliver promptly) and returns its error. It
+// returns the write error (the client went away — the sweep itself is
+// unaffected), the context's error, or the sweep's own error for a
+// failed run.
+func (e *sweepEntry) stream(ctx context.Context, w writerFunc, flush func()) error {
+	if ctx != nil {
+		// Broadcast under the entry lock so a waiter is either still
+		// before its ctx check (and will see the error) or parked in Wait
+		// (and gets the wakeup) — never between the two.
+		unhook := context.AfterFunc(ctx, func() {
+			e.mu.Lock()
+			defer e.mu.Unlock()
+			e.cond.Broadcast()
+		})
+		defer unhook()
+	}
 	off := 0
 	e.mu.Lock()
 	for {
@@ -87,6 +114,10 @@ func (e *sweepEntry) stream(w writerFunc, flush func()) error {
 		}
 		if e.done {
 			break
+		}
+		if ctx != nil && ctx.Err() != nil {
+			e.mu.Unlock()
+			return ctx.Err()
 		}
 		e.cond.Wait()
 	}
@@ -129,12 +160,16 @@ func newSweepCache(capacity int) *sweepCache {
 }
 
 // acquire looks the hash up, classifying the result and registering a
-// fresh in-flight entry on a miss. The stateRun caller must eventually
-// call complete (success) or abandon (failure) on the entry.
+// fresh in-flight entry on a miss. Every caller — the stateRun winner and
+// each attacher or replayer — holds one reference and must pair the
+// acquire with exactly one release when its stream ends. The stateRun
+// caller must additionally see the run through to complete (success) or
+// abandon (failure).
 func (c *sweepCache) acquire(hash string) (*sweepEntry, cacheState) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if e, ok := c.entries[hash]; ok {
+		e.refs++
 		if e.elem != nil {
 			c.lru.MoveToFront(e.elem)
 			c.hits++
@@ -144,9 +179,27 @@ func (c *sweepCache) acquire(hash string) (*sweepEntry, cacheState) {
 		return e, stateAttach
 	}
 	e := newSweepEntry(hash)
+	e.refs = 1
 	c.entries[hash] = e
 	c.misses++
 	return e, stateRun
+}
+
+// release drops one stream's reference. When the last reference leaves an
+// entry, its run context is cancelled: for an in-flight run that stops
+// the engine (no attacher remains to read the result); for a completed
+// entry the run already returned and the cancel is a no-op. The refcount
+// transition and the cancel decision happen under the cache lock, so an
+// attacher arriving concurrently either lands before the count hits zero
+// (and keeps the run alive) or after the entry was abandoned (and starts
+// a fresh run).
+func (c *sweepCache) release(e *sweepEntry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e.refs--
+	if e.refs == 0 {
+		e.cancel()
+	}
 }
 
 // complete promotes a finished in-flight entry onto the LRU, evicting the

@@ -1,0 +1,31 @@
+package serve
+
+// Chaos is the fault-injection harness: a set of optional hooks the
+// server calls at well-defined points so tests can force the failure
+// modes that are hard to reach organically — solver errors, latency
+// spikes, panics on pooled workers — and assert the containment
+// contract: the server keeps answering, the Stats counters account for
+// every failure, and no pooled state poisoned by a panic is ever reused.
+// All hooks may be called concurrently and must be safe for that; a nil
+// hook is skipped. Chaos exists for tests and controlled fault drills,
+// never for production configs.
+type Chaos struct {
+	// SolveStart runs on the shard worker immediately before each solve,
+	// with the request's policy name. Returning an error fails that one
+	// request the way a solver failure would (the response carries the
+	// error, the shard lives on); sleeping injects queue latency;
+	// panicking exercises the shard's panic containment — the request
+	// answers 500, Stats.Panics increments, and the worker rebuilds its
+	// scratch before touching the next job.
+	SolveStart func(policy string) error
+	// SweepStart runs once per cache-miss sweep execution, with the
+	// spec's content hash, before the engine starts. Returning an error
+	// fails the run (terminal error record, never cached).
+	SweepStart func(hash string) error
+	// TrialStart is threaded into the sweep engine as
+	// experiments.SweepOptions.TrialStart: it runs on a sweep worker
+	// before every (point, trial) evaluation. Sleeping here slows the
+	// sweep deterministically (how the tests widen the cancellation
+	// window); panicking is contained like a solver panic.
+	TrialStart func(point, trial int)
+}

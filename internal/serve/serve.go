@@ -25,18 +25,37 @@
 //     The cache is LRU-bounded and never evicts an in-flight entry.
 //
 // GET /stats exposes the traffic and cache counters, GET /healthz is the
-// liveness probe. Graceful shutdown is the HTTP server's: in-flight
-// solves and sweep streams run to completion; Close then drains the
-// shard queues.
+// liveness probe, GET /readyz the readiness probe (unready once a drain
+// begins). Graceful shutdown is the HTTP server's: in-flight solves and
+// sweep streams run to completion; Close then drains the shard queues.
+//
+// # Failure containment
+//
+// Cancellation propagates end to end: every handler carries its request
+// context, so a client disconnect or a configured deadline
+// (SolveTimeout, SweepTimeout) reaches the solver's stop poll mid-solve,
+// not just between requests. A solo /sweep submitter disconnecting
+// cancels the run it started; attached streams are refcounted, so a run
+// is cancelled only when its LAST reader leaves — one impatient client
+// never kills a sweep others are still streaming. Cancelled or failed
+// partial runs are never cached: the cache holds only byte streams of
+// sweeps that ran to completion, so a replay is always a full result.
+// A panic on a pooled worker — shard or sweep — is recovered, answered
+// as an error (500 on /solve, a terminal JSONL error record on /sweep),
+// counted in Stats.Panics, and the possibly-poisoned pooled scratch is
+// discarded and rebuilt before the worker touches the next request.
 package serve
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/comm"
 	"repro/internal/experiments"
@@ -70,6 +89,19 @@ type Config struct {
 	// trials per point (0 = unlimited) — the knob that keeps one
 	// oversized submission from monopolizing the service.
 	MaxTrials int
+	// SolveTimeout bounds each /solve request from enqueue to answer
+	// (0 = none). Expiry answers 504 and the deadline reaches the
+	// solver's stop poll, so a pathological solve abandons mid-search
+	// instead of occupying its shard indefinitely.
+	SolveTimeout time.Duration
+	// SweepTimeout bounds each sweep execution (0 = none). Because the
+	// response stream is already flowing when the deadline can expire,
+	// a timed-out sweep reports in-band: a terminal JSONL error record,
+	// and the partial run is never cached.
+	SweepTimeout time.Duration
+	// Chaos, when non-nil, injects faults at the server's seams — tests
+	// and fault drills only. See the Chaos type.
+	Chaos *Chaos
 }
 
 func (c Config) withDefaults() Config {
@@ -103,6 +135,13 @@ type Stats struct {
 	CacheAttaches  uint64 `json:"cache_attaches"`
 	CacheEvictions uint64 `json:"cache_evictions"`
 	CacheEntries   int    `json:"cache_entries"`
+	// Panics counts panics recovered on pooled workers (shard solves and
+	// sweep runs); Canceled counts work abandoned because every client
+	// went away before completion; Timeouts counts SolveTimeout /
+	// SweepTimeout expiries.
+	Panics   uint64 `json:"panics"`
+	Canceled uint64 `json:"canceled"`
+	Timeouts uint64 `json:"timeouts"`
 }
 
 // Server is the routing service. Create with New, expose via Handler,
@@ -126,6 +165,10 @@ type Server struct {
 	solves       atomic.Uint64
 	solveRejects atomic.Uint64
 	sweepsRun    atomic.Uint64
+	panics       atomic.Uint64
+	canceled     atomic.Uint64
+	timeouts     atomic.Uint64
+	draining     atomic.Bool
 }
 
 // New starts the shard workers and returns the server.
@@ -140,7 +183,7 @@ func New(cfg Config) *Server {
 	}
 	s.shards = make([]*shard, cfg.SolveShards)
 	for i := range s.shards {
-		sh := &shard{jobs: make(chan *solveJob, cfg.ShardQueue)}
+		sh := &shard{jobs: make(chan *solveJob, cfg.ShardQueue), chaos: cfg.Chaos, panics: &s.panics}
 		s.shards[i] = sh
 		s.workers.Add(1)
 		go func() {
@@ -154,16 +197,34 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
+	// Readiness is distinct from liveness: a draining server is still
+	// alive (healthz ok — don't restart it) but should receive no new
+	// traffic (readyz 503 — pull it from rotation).
+	s.mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, _ *http.Request) {
+		if s.draining.Load() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintln(w, "draining")
+			return
+		}
+		fmt.Fprintln(w, "ok")
+	})
 	return s
 }
 
 // Handler returns the server's HTTP handler.
 func (s *Server) Handler() http.Handler { return s.mux }
 
+// BeginDrain flips /readyz unready so load balancers stop routing new
+// traffic while in-flight work runs to completion. It is idempotent and
+// does not itself stop anything; call it on the shutdown signal, before
+// the HTTP listener's graceful Shutdown. Close implies it.
+func (s *Server) BeginDrain() { s.draining.Store(true) }
+
 // Close stops accepting work, waits for every queued solve to be
 // answered and every in-flight sweep to finish, then releases the shard
 // workers. Call it after the HTTP listener has drained its handlers.
 func (s *Server) Close() {
+	s.BeginDrain()
 	s.dispatch.Lock()
 	if !s.closed {
 		s.closed = true
@@ -188,6 +249,9 @@ func (s *Server) Stats() Stats {
 		CacheAttaches:  attaches,
 		CacheEvictions: evictions,
 		CacheEntries:   s.cache.len(),
+		Panics:         s.panics.Load(),
+		Canceled:       s.canceled.Load(),
+		Timeouts:       s.timeouts.Load(),
 	}
 }
 
@@ -353,21 +417,56 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
+	// The request context carries both failure signals a waiting solve
+	// must honor: the client disconnecting and the configured deadline.
+	// It reaches the shard worker (which skips jobs nobody waits on) and
+	// the solver's stop poll (which abandons a search mid-solve).
+	ctx := r.Context()
+	if s.cfg.SolveTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.SolveTimeout)
+		defer cancel()
+	}
 	job := &solveJob{
+		ctx:    ctx,
 		in:     in,
 		solver: solver,
 		opts:   solve.Options{Seed: req.Seed, SAIters: req.SAIters, MaxPaths: req.MaxPaths},
 		sim:    sim,
 		done:   make(chan solveOutcome, 1),
 	}
+	job.opts.Stop = func() bool { return ctx.Err() != nil }
 	if !s.enqueue(job) {
 		s.solveRejects.Add(1)
 		w.Header().Set("Retry-After", "1")
 		httpError(w, http.StatusServiceUnavailable, fmt.Errorf("serve: all %d solve queues full", len(s.shards)))
 		return
 	}
-	out := <-job.done
+	var out solveOutcome
+	select {
+	case out = <-job.done:
+	case <-ctx.Done():
+		// done is buffered, so a worker that already dequeued the job can
+		// still deposit its (discarded) answer without blocking.
+		out = solveOutcome{err: solve.ErrStopped}
+	}
+	// A dead context dominates however it surfaced — the select racing to
+	// Done, or the worker answering first with the stop-poll's ErrStopped.
+	if ctx.Err() != nil && (out.err == nil || errors.Is(out.err, solve.ErrStopped)) {
+		if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+			s.timeouts.Add(1)
+			httpError(w, http.StatusGatewayTimeout,
+				fmt.Errorf("serve: solve exceeded the %v deadline", s.cfg.SolveTimeout))
+		} else {
+			s.canceled.Add(1)
+		}
+		return
+	}
 	s.solves.Add(1)
+	if out.panicked {
+		httpError(w, http.StatusInternalServerError, fmt.Errorf("serve: internal error routing the request"))
+		return
+	}
 	resp := SolveResponse{Policy: solver.Name()}
 	if out.err != nil {
 		resp.Error = out.err.Error()
@@ -429,6 +528,11 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	}
 	hash := sp.Hash()
 	entry, state := s.cache.acquire(hash)
+	// This stream holds one reference on the entry; releasing the last
+	// one cancels a still-running sweep — a solo submitter disconnecting
+	// stops its run, while a run with other attached readers survives
+	// any one of them leaving.
+	defer s.cache.release(entry)
 	if state == stateRun {
 		s.sweeps.Add(1)
 		go s.runSweep(sp, entry)
@@ -443,34 +547,90 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	if flusher != nil {
 		flush = flusher.Flush
 	}
-	_ = entry.stream(func(p []byte) error {
+	err = entry.stream(r.Context(), func(p []byte) error {
 		_, err := w.Write(p)
 		return err
 	}, flush)
+	if err != nil && r.Context().Err() != nil {
+		s.canceled.Add(1)
+	}
 }
 
 // runSweep executes the singleflight winner's sweep into the entry:
 // per-point JSONL flows to every attached stream as it is evaluated, and
-// a successful run is promoted into the cache. A failed run appends one
-// terminal error record — a deliberate departure from the offline format,
-// which has no way to signal mid-stream failure — and is dropped from the
-// cache so the next submission retries.
+// a successful run is promoted into the cache. A failed, cancelled or
+// timed-out run appends one terminal error record — a deliberate
+// departure from the offline format, which has no way to signal
+// mid-stream failure — and is dropped from the cache so the next
+// submission retries; the cache never holds a partial run. The run is
+// bounded by the entry's refcounted context (cancelled when the last
+// attached stream leaves) and, when configured, SweepTimeout; a panic on
+// a sweep worker arrives as an experiments.PanicError and counts in
+// Stats.Panics.
 func (s *Server) runSweep(sp scenario.Spec, entry *sweepEntry) {
 	defer s.sweeps.Done()
-	s.sem <- struct{}{}
-	defer func() { <-s.sem }()
-	s.sweepsRun.Add(1)
-	err := experiments.Sweep(sp, experiments.SweepOptions{Workers: s.cfg.SweepWorkers},
-		experiments.NewJSONLSink(entry))
-	if err != nil {
-		line, _ := json.Marshal(map[string]string{"type": "error", "error": err.Error()})
-		entry.Write(append(line, '\n'))
-		entry.finish(err)
-		s.cache.abandon(entry)
+	ctx := entry.runCtx
+	select {
+	case s.sem <- struct{}{}:
+	case <-ctx.Done():
+		// Every submitter left while the run was still queued behind
+		// MaxSweeps: don't burn a slot computing into the void.
+		s.canceled.Add(1)
+		s.failSweep(entry, ctx.Err())
 		return
 	}
-	entry.finish(nil)
-	s.cache.complete(entry)
+	defer func() { <-s.sem }()
+	if s.cfg.SweepTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.SweepTimeout)
+		defer cancel()
+	}
+	s.sweepsRun.Add(1)
+	opt := experiments.SweepOptions{Workers: s.cfg.SweepWorkers, Context: ctx}
+	if c := s.cfg.Chaos; c != nil {
+		opt.TrialStart = c.TrialStart
+	}
+	err := func() (err error) {
+		// The merge stage and the sinks run on this goroutine; contain
+		// their panics like the engine contains its workers'.
+		defer func() {
+			if r := recover(); r != nil {
+				s.panics.Add(1)
+				err = fmt.Errorf("serve: sweep panic: %v", r)
+			}
+		}()
+		if c := s.cfg.Chaos; c != nil && c.SweepStart != nil {
+			if err := c.SweepStart(entry.hash); err != nil {
+				return err
+			}
+		}
+		return experiments.Sweep(sp, opt, experiments.NewJSONLSink(entry))
+	}()
+	if err == nil {
+		entry.finish(nil)
+		s.cache.complete(entry)
+		return
+	}
+	var pe *experiments.PanicError
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		s.timeouts.Add(1)
+	case errors.Is(err, context.Canceled):
+		s.canceled.Add(1)
+	case errors.As(err, &pe):
+		s.panics.Add(1)
+	}
+	s.failSweep(entry, err)
+}
+
+// failSweep terminates a run that produced no complete result: one
+// in-band error record for whoever is still streaming, then the entry is
+// finished and abandoned so it can never be replayed from the cache.
+func (s *Server) failSweep(entry *sweepEntry, err error) {
+	line, _ := json.Marshal(map[string]string{"type": "error", "error": err.Error()})
+	entry.Write(append(line, '\n'))
+	entry.finish(err)
+	s.cache.abandon(entry)
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {

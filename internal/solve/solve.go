@@ -14,6 +14,7 @@
 package solve
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
@@ -24,6 +25,13 @@ import (
 	"repro/internal/power"
 	"repro/internal/route"
 )
+
+// ErrStopped is returned by a solver that abandoned its search because
+// Options.Stop reported true — the deadline/cancellation path, not a
+// solver failure. Callers distinguish it from "no solution" with
+// errors.Is and map it back to their own cancellation signal (the
+// experiment engine returns context.Canceled for it).
+var ErrStopped = errors.New("solve: stopped by Options.Stop")
 
 // Instance is one routing problem: a mesh CMP, a link power model, and the
 // communication set to route.
@@ -74,6 +82,14 @@ type Options struct {
 	// ExactMaxStates overrides OPT's search-node budget
 	// (0 = exact.DefaultMaxStates).
 	ExactMaxStates int
+	// Stop, when non-nil, is polled by the long-running policies (SA's
+	// anneal loop, OPT's branch-and-bound) every few hundred steps; once
+	// it reports true the solver abandons the search and returns
+	// ErrStopped. The poll is a single predicate call on a coarse stride,
+	// so an always-false Stop costs nothing measurable and the routing of
+	// an unstopped run is byte-identical to a run without the hook. The
+	// constructive heuristics finish in microseconds and ignore it.
+	Stop func() bool
 	// Workspace, when non-nil, lets the policy reuse dense scratch state
 	// (per-comm path slots, load trackers, frontier bitsets) across calls
 	// — the amortization hook of the experiment engine's per-worker
