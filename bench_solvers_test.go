@@ -187,6 +187,61 @@ func BenchmarkSolverTrialAllocs(b *testing.B) {
 	}
 }
 
+// nocEnergyBenchConfig is the committed NoCSimEnergy configuration: the
+// E15 replay with explicit per-component energy coefficients, the run
+// whose Stats.Energy breakdown the energy benchmarks track.
+func nocEnergyBenchConfig() noc.Config {
+	return noc.Config{Horizon: 1000, Warmup: 200, RouterPJPerBit: 0.5, BufferPJPerBit: 0.3}
+}
+
+// maxNoCSimEnergyAllocs bounds a warmed pooled run with per-component
+// energy accounting. The engine's own budget is maxSimAllocsPerRun = 24
+// (internal/noc/sim_bench_test.go, measured ~10); the energy counters
+// may add at most 2 allocations — in practice exactly 1, the single
+// slab backing the three Energy slices — so 24 + 2 is the ceiling.
+const maxNoCSimEnergyAllocs = 26
+
+// BenchmarkNoCSimEnergy measures the pooled simulator with energy
+// accounting on the E15 reference routing and guards the accounting's
+// allocation cost: a warmed run must stay within maxNoCSimEnergyAllocs,
+// and the conservation identity must hold on every iteration.
+func BenchmarkNoCSimEnergy(b *testing.B) {
+	m := mesh.MustNew(8, 8)
+	model := power.KimHorowitz()
+	set := workload.New(m, 8).Uniform(15, 100, 1200)
+	res, err := heur.Solve(heur.PR{}, heur.Instance{Mesh: m, Model: model, Comms: set})
+	if err != nil || !res.Feasible {
+		b.Fatalf("energy bench setup: err=%v feasible=%v", err, res.Feasible)
+	}
+	ws := noc.NewWorkspace()
+	cfg := nocEnergyBenchConfig()
+	run := func() *noc.Stats {
+		sim, err := ws.Simulator(res.Routing, model, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return sim.Run()
+	}
+	st := run() // warm the pooled buffers
+	e := st.Energy
+	if got := e.RouterTotalNJ + e.LinkTotalNJ + e.BufferTotalNJ; got != e.TotalNJ {
+		b.Fatalf("energy conservation broken: %g != %g", got, e.TotalNJ)
+	}
+	if e.TotalNJ <= 0 {
+		b.Fatal("zero total energy on the reference replay")
+	}
+	perRun := testing.AllocsPerRun(3, func() { run() })
+	b.ReportMetric(perRun, "allocs/run")
+	if perRun > maxNoCSimEnergyAllocs {
+		b.Fatalf("%.0f allocations per warmed pooled energy run, guard %d — the counters are allocating on the hot path",
+			perRun, maxNoCSimEnergyAllocs)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		run()
+	}
+}
+
 // solverBenchRow is one policy's entry in BENCH_solvers.json.
 type solverBenchRow struct {
 	NsPerOp     float64 `json:"ns_per_op"`
@@ -224,9 +279,10 @@ func optBenchRow(t *testing.T) solverBenchRow {
 }
 
 // nocSimBenchRow measures the pooled NoC simulator on the E15 reference
-// instance under the given switching mode — the BENCH_solvers.json entry
-// cmd/benchguard tracks per mode.
-func nocSimBenchRow(t *testing.T, sw noc.Switching) solverBenchRow {
+// instance under the given configuration — the BENCH_solvers.json
+// entries cmd/benchguard tracks (one per switching mode, one for the
+// explicit energy-accounting configuration).
+func nocSimBenchRow(t *testing.T, cfg noc.Config) solverBenchRow {
 	t.Helper()
 	m := mesh.MustNew(8, 8)
 	model := power.KimHorowitz()
@@ -236,7 +292,6 @@ func nocSimBenchRow(t *testing.T, sw noc.Switching) solverBenchRow {
 		t.Fatalf("NoC bench setup: err=%v feasible=%v", err, res.Feasible)
 	}
 	ws := noc.NewWorkspace()
-	cfg := noc.Config{Horizon: 1000, Warmup: 200, Switching: sw}
 	bres := testing.Benchmark(func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
@@ -291,8 +346,9 @@ func TestEmitSolverBenchJSON(t *testing.T) {
 		}
 	}
 	rows["OPT"] = optBenchRow(t)
-	rows["NoCSimSF"] = nocSimBenchRow(t, noc.StoreAndForward)
-	rows["NoCSimCT"] = nocSimBenchRow(t, noc.CutThrough)
+	rows["NoCSimSF"] = nocSimBenchRow(t, noc.Config{Horizon: 1000, Warmup: 200, Switching: noc.StoreAndForward})
+	rows["NoCSimCT"] = nocSimBenchRow(t, noc.Config{Horizon: 1000, Warmup: 200, Switching: noc.CutThrough})
+	rows["NoCSimEnergy"] = nocSimBenchRow(t, nocEnergyBenchConfig())
 	data, err := json.MarshalIndent(rows, "", "  ")
 	if err != nil {
 		t.Fatal(err)

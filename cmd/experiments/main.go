@@ -12,6 +12,7 @@
 //	experiments -exp summary -trials 20 -policies XY,XYI,PR,SA
 //	experiments -spec examples/specs/smoke.json -csv out/
 //	experiments -source tornado -mesh 16x16 -policies XY,PR,MAXMP
+//	experiments -source uniform -topology torus:8x8 -policies TABLE
 //	experiments -spec big.json -csv out/ -resume   # continue an interrupted sweep
 //	experiments -spec examples/specs/optgap.json -optgap -csv out/
 //	experiments -exp fig7a -cpuprofile cpu.prof -memprofile mem.prof
@@ -55,6 +56,7 @@ func main() {
 		spec    = flag.String("spec", "", "JSON sweep spec file to run (see examples/specs/)")
 		source  = flag.String("source", "", "build a sweep from flags: scenario source name (registered: "+strings.Join(scenario.Sources(), ", ")+")")
 		meshGe  = flag.String("mesh", "", "mesh geometry PxQ for -source sweeps (default 8x8)")
+		topoGe  = flag.String("topology", "", "non-mesh platform for -source sweeps, e.g. torus:8x8 or circulant:27:1,3,9 (mutually exclusive with -mesh; needs topology-capable -policies like TABLE)")
 		axis    = flag.String("axis", "", "sweep axis for -source sweeps: n, weight, length, rate (default: single point)")
 		points  = flag.String("points", "", "comma-separated x-values for -axis")
 		nComms  = flag.Int("n", 0, "base communication count for -source sweeps (default 30 for the random family)")
@@ -74,7 +76,7 @@ func main() {
 	os.Exit(profiledRun(*cpuProf, *memProf, cfg{
 		exp: *exp, trials: *trials, seed: *seed, csvDir: *csvDir, jsonl: *jsonl,
 		md: *md, policies: parseList(*pols), specFile: *spec, source: *source,
-		mesh: *meshGe, axis: *axis, points: *points, n: *nComms,
+		mesh: *meshGe, topology: *topoGe, axis: *axis, points: *points, n: *nComms,
 		wmin: *wmin, wmax: *wmax, rate: *rate, length: *length,
 		workers: *workers, resume: *resume, progress: *prog,
 		optgap: *optgap, optStates: *optSt,
@@ -133,6 +135,7 @@ type cfg struct {
 	specFile  string
 	source    string
 	mesh      string
+	topology  string
 	axis      string
 	points    string
 	n         int
@@ -246,10 +249,11 @@ func (c cfg) buildSpec() (scenario.Spec, error) {
 		}
 	} else {
 		sp = scenario.Spec{
-			Source: c.source,
-			Mesh:   c.mesh,
-			Axis:   c.axis,
-			Params: scenario.Params{N: c.n, WMin: c.wmin, WMax: c.wmax, Rate: c.rate, Length: c.length},
+			Source:   c.source,
+			Mesh:     c.mesh,
+			Topology: c.topology,
+			Axis:     c.axis,
+			Params:   scenario.Params{N: c.n, WMin: c.wmin, WMax: c.wmax, Rate: c.rate, Length: c.length},
 		}
 		// Default the weight range only when the user set no weight knob at
 		// all (a lone -wmin/-wmax stays as given and fails loudly in Bind);

@@ -44,6 +44,34 @@
 // events; the NoCSimSF/NoCSimCT rows of BENCH_solvers.json put both
 // switching modes under cmd/benchguard's regression tripwire.
 //
+// The routing stack is built on a topology abstraction (internal/topo):
+// topo.Topology is a directed interconnect over the mesh package's
+// coordinate and link types — dense core indices, dense link
+// identifiers for flat-slice load accounting, shortest-path distances,
+// a deterministic shortest-route builder, and a Carrier() mesh over the
+// same core set so mesh-bound workload sources run on any topology. The
+// 2-D mesh is the canonical implementation and keeps its closed-form
+// fast paths (Routing, trackers, workspaces and the NoC engine all hold
+// the concrete *mesh.Mesh on mesh platforms, so mesh outputs are
+// byte-identical to the pre-abstraction code — a differential suite
+// pins this). topo/torus (wraparound mesh) and topo/circulant
+// (multiplicative circulant NoCs) register themselves with topo.Parse
+// ("torus:8x8", "circulant:27:1,3,9") and route via precompiled
+// rtable next-hop tables; the TABLE policy (internal/tabroute) is their
+// deterministic baseline router, the role XY plays on the mesh, and the
+// only policy carrying the solve.TopologyAware marker. Topology
+// selection threads end to end: scenario.Spec's topology field
+// (hash-canonicalized, so equivalent spellings share one serve cache
+// entry), the sweep engine, cmd/experiments -topology, cmd/nocsim and
+// the service's /solve and /sweep endpoints. The simulator additionally
+// keeps RACER-style per-component energy accounting on every run —
+// per-router and per-buffer pJ/bit counters charged event by event,
+// per-link leakage + frequency-dependent dynamic energy integrated over
+// busy time — exported as Stats.Energy with the conservation identity
+// TotalNJ = Σ router + Σ link + Σ buffer enforced by construction and
+// test; the NoCSimEnergy row of BENCH_solvers.json guards its cost
+// (the counters add one slab allocation per run).
+//
 // Workload generation mirrors the policy registry: internal/scenario
 // holds a case-insensitive self-registering registry of workload sources
 // (the Section 6 random families, permutation patterns, application

@@ -37,11 +37,23 @@ func (c Comm) Direction() mesh.Quadrant { return mesh.DirectionOf(c.Src, c.Dst) 
 
 // Validate checks that the communication is well formed on the mesh.
 func (c Comm) Validate(m *mesh.Mesh) error {
-	if !m.Contains(c.Src) {
-		return fmt.Errorf("comm %d: source %v outside %v", c.ID, c.Src, m)
+	return c.ValidateOn(m)
+}
+
+// Platform is the minimal core-set view validation needs — satisfied by
+// *mesh.Mesh and every topo.Topology, without this package depending on
+// either topology machinery or a concrete platform type.
+type Platform interface {
+	Contains(c mesh.Coord) bool
+}
+
+// ValidateOn is Validate against any platform exposing its core set.
+func (c Comm) ValidateOn(p Platform) error {
+	if !p.Contains(c.Src) {
+		return fmt.Errorf("comm %d: source %v outside %v", c.ID, c.Src, p)
 	}
-	if !m.Contains(c.Dst) {
-		return fmt.Errorf("comm %d: sink %v outside %v", c.ID, c.Dst, m)
+	if !p.Contains(c.Dst) {
+		return fmt.Errorf("comm %d: sink %v outside %v", c.ID, c.Dst, p)
 	}
 	if c.Rate <= 0 {
 		return fmt.Errorf("comm %d: non-positive rate %g", c.ID, c.Rate)
@@ -57,9 +69,14 @@ type Set []Comm
 
 // Validate checks every communication and ID uniqueness.
 func (s Set) Validate(m *mesh.Mesh) error {
+	return s.ValidateOn(m)
+}
+
+// ValidateOn is Validate against any platform exposing its core set.
+func (s Set) ValidateOn(p Platform) error {
 	seen := make(map[int]bool, len(s))
 	for _, c := range s {
-		if err := c.Validate(m); err != nil {
+		if err := c.ValidateOn(p); err != nil {
 			return err
 		}
 		if seen[c.ID] {

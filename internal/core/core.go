@@ -26,6 +26,7 @@ import (
 	"repro/internal/route"
 	"repro/internal/solve"
 	"repro/internal/tables"
+	_ "repro/internal/tabroute" // registers TABLE
 )
 
 // Options re-exports the registry's policy knobs (RNG seed, iteration

@@ -35,6 +35,10 @@ type Panel struct {
 	XLabel string
 	// Mesh is the "PxQ" platform geometry ("" = the paper's 8x8).
 	Mesh string
+	// Topology selects a non-mesh platform by topo.Parse spec string
+	// (e.g. "torus:8x8"); empty keeps the mesh in Mesh. Mutually
+	// exclusive with Mesh, mirroring scenario.Spec.
+	Topology string
 	// Source is the registered scenario source drawing each trial's
 	// communication set ("" = "uniform", the Section 6 random family).
 	Source string
@@ -172,6 +176,7 @@ func PanelOf(sp scenario.Spec) (Panel, error) {
 		Title:    sp.Title,
 		XLabel:   sp.XLabel,
 		Mesh:     sp.Mesh,
+		Topology: sp.Topology,
 		Source:   sp.Source,
 		Policies: append([]string(nil), sp.Policies...),
 		Trials:   sp.Trials,

@@ -13,6 +13,7 @@ import (
 	"repro/internal/route"
 	"repro/internal/scenario"
 	"repro/internal/solve"
+	"repro/internal/topo"
 )
 
 // engine is the pooled trial runner behind Panel.Stream: the panel's
@@ -26,7 +27,12 @@ import (
 // boundaries. Completed points flow through a merge stage that releases
 // them to the sinks strictly in point order.
 type engine struct {
-	m       *mesh.Mesh
+	// m is the coordinate-carrier grid workload sources bind to: the
+	// platform itself for mesh panels, Topology.Carrier() otherwise.
+	m *mesh.Mesh
+	// tp is the non-mesh platform topology; nil on mesh panels, so the
+	// mesh path builds exactly the historical Instance{Mesh: e.m}.
+	tp      topo.Topology
 	model   power.Model
 	src     scenario.Source
 	names   []string
@@ -69,6 +75,28 @@ func newEngine(p Panel, trials int) (*engine, error) {
 			return nil, err
 		}
 	}
+	carrier := (*mesh.Mesh)(nil)
+	var tp topo.Topology
+	if p.Topology != "" {
+		if p.Mesh != "" {
+			return nil, fmt.Errorf("experiments: panel %s sets both mesh %q and topology %q", p.ID, p.Mesh, p.Topology)
+		}
+		t, err := topo.Parse(p.Topology)
+		if err != nil {
+			return nil, err
+		}
+		if m, ok := t.(*mesh.Mesh); ok {
+			carrier = m
+		} else {
+			tp = t
+			carrier = t.Carrier()
+			if err := solve.CheckTopology(names, tp); err != nil {
+				return nil, err
+			}
+		}
+	} else {
+		carrier = mesh.MustNew(mp, mq)
+	}
 	srcName := p.Source
 	if srcName == "" {
 		srcName = "uniform"
@@ -78,7 +106,8 @@ func newEngine(p Panel, trials int) (*engine, error) {
 		return nil, err
 	}
 	e := &engine{
-		m:       mesh.MustNew(mp, mq),
+		m:       carrier,
+		tp:      tp,
 		model:   p.model(),
 		src:     src,
 		names:   names,
@@ -131,10 +160,19 @@ type sweepScratch struct {
 	ws      *route.Workspace
 }
 
+// platform returns the engine's routing platform: the non-mesh topology
+// when one is set, else the mesh itself.
+func (e *engine) platform() topo.Topology {
+	if e.tp != nil {
+		return e.tp
+	}
+	return e.m
+}
+
 func (e *engine) newSweepScratch(npts int) *sweepScratch {
 	return &sweepScratch{
 		drawers: make([]scenario.Drawer, npts),
-		loads:   route.NewLoadTracker(e.m),
+		loads:   route.NewLoadTrackerTopo(e.platform()),
 		ws:      route.NewWorkspace(),
 	}
 }
@@ -178,6 +216,9 @@ func (e *engine) runTrial(s *sweepScratch, panelSeed int64, pi, trial int, pt Po
 	}
 	s.set = set
 	in := solve.Instance{Mesh: e.m, Model: e.model, Comms: set}
+	if e.tp != nil {
+		in.Mesh, in.Topo = nil, e.tp
+	}
 	opts := e.opts
 	opts.Seed = seed
 	opts.Workspace = s.ws

@@ -291,6 +291,9 @@ func (p Panel) RunBaselineE() (Result, error) {
 	if p.Source != "" && p.Source != "uniform" {
 		return Result{}, fmt.Errorf("experiments: RunBaseline supports only the uniform source, not %q", p.Source)
 	}
+	if p.Topology != "" {
+		return Result{}, fmt.Errorf("experiments: RunBaseline supports only mesh platforms, not topology %q", p.Topology)
+	}
 	trials := p.Trials
 	if trials == 0 {
 		trials = DefaultTrials

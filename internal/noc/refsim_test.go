@@ -90,6 +90,10 @@ func (q *refEventQueue) push(e *refEvent) {
 func (q *refEventQueue) pop() *refEvent { return heap.Pop(q).(*refEvent) }
 
 // refSimulator replays a routing exactly like the pre-arena engine did.
+// Its energy accounting is an independent re-derivation (coordinate
+// lookups per event instead of the production engine's precomputed
+// linkSrc table and pooled slab), so the differential matrix pins the
+// two implementations of the same arithmetic against each other.
 type refSimulator struct {
 	routing   route.Routing
 	model     power.Model
@@ -97,6 +101,8 @@ type refSimulator struct {
 	links     []refLinkState
 	classes   [][]int
 	onDeliver func(Delivery)
+	routerE   []float64
+	bufferE   []float64
 }
 
 func refNew(r route.Routing, model power.Model, cfg Config) (*refSimulator, error) {
@@ -113,7 +119,10 @@ func refNew(r route.Routing, model power.Model, cfg Config) (*refSimulator, erro
 		}
 		links[id].freq = f
 	}
-	return &refSimulator{routing: r, model: model, cfg: cfg, links: links}, nil
+	return &refSimulator{routing: r, model: model, cfg: cfg, links: links,
+		routerE: make([]float64, r.Mesh.NumCores()),
+		bufferE: make([]float64, r.Mesh.LinkIDSpace()),
+	}, nil
 }
 
 func (s *refSimulator) assignClasses(classes [][]int) { s.classes = classes }
@@ -181,9 +190,12 @@ func (s *refSimulator) arrive(q *refEventQueue, st *Stats, pkt *refPacket, now f
 	}
 	id := s.routing.Mesh.LinkID(fl.Path[pkt.hop])
 	class := s.classOf(pkt.flow, pkt.hop)
-	if pkt.hop > 0 && s.cfg.BufferPackets > 0 {
-		s.links[id].reserved[class]--
-		s.links[id].relayQueued[class]++
+	if pkt.hop > 0 {
+		s.bufferE[id] += s.cfg.BufferPJPerBit * pkt.bits * 1e-3
+		if s.cfg.BufferPackets > 0 {
+			s.links[id].reserved[class]--
+			s.links[id].relayQueued[class]++
+		}
 	}
 	s.links[id].queues[class] = append(s.links[id].queues[class], pkt)
 	s.startNext(q, id, now)
@@ -239,6 +251,8 @@ func (s *refSimulator) startNext(q *refEventQueue, id int, now float64) {
 		}
 		s.wakeWaiters(q, id, class, now)
 	}
+	src := s.routing.Mesh.LinkByID(id).From
+	s.routerE[s.routing.Mesh.CoordIndex(src)] += s.cfg.RouterPJPerBit * pkt.bits * 1e-3
 	tx := pkt.bits / ls.freq
 	done := now + tx
 	if s.cfg.Switching == CutThrough {
@@ -286,6 +300,10 @@ func (s *refSimulator) wakeWaiters(q *refEventQueue, id, class int, now float64)
 }
 
 func (s *refSimulator) finalize(st *Stats) {
+	e := &st.Energy
+	e.RouterNJ = append([]float64(nil), s.routerE...)
+	e.LinkNJ = make([]float64, len(s.links))
+	e.BufferNJ = append([]float64(nil), s.bufferE...)
 	for id := range s.links {
 		ls := &s.links[id]
 		st.Stalled += ls.queuedPackets()
@@ -297,6 +315,17 @@ func (s *refSimulator) finalize(st *Stats) {
 		p := s.model.Pleak + s.model.Dynamic(ls.freq)
 		st.PowerMW += p
 		st.ActiveLinks++
+		e.LinkNJ[id] = s.model.Pleak*s.cfg.Horizon + s.model.Dynamic(ls.freq)*ls.busyTime
 	}
+	for _, v := range e.RouterNJ {
+		e.RouterTotalNJ += v
+	}
+	for _, v := range e.LinkNJ {
+		e.LinkTotalNJ += v
+	}
+	for _, v := range e.BufferNJ {
+		e.BufferTotalNJ += v
+	}
+	e.TotalNJ = e.RouterTotalNJ + e.LinkTotalNJ + e.BufferTotalNJ
 	st.EnergyNJ = st.PowerMW * s.cfg.Horizon
 }

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/power"
 	"repro/internal/route"
+	"repro/internal/topo"
 )
 
 // Switching selects the forwarding discipline of the routers.
@@ -53,6 +54,16 @@ type Config struct {
 	// (see internal/deadlock) can genuinely deadlock; Stats.Stalled
 	// reports packets frozen at the horizon.
 	BufferPackets int
+	// RouterPJPerBit is the router datapath energy (crossbar traversal
+	// plus arbitration) charged per bit each time a router starts
+	// forwarding a packet onto a link. Zero means 0.5 pJ/bit, a
+	// 45 nm-class estimate. Feeds Stats.Energy.RouterNJ.
+	RouterPJPerBit float64
+	// BufferPJPerBit is the input-buffer energy (one write plus one
+	// read) charged per bit when a transit packet is queued at a router.
+	// Source-side NIC queues are not router buffers and are free. Zero
+	// means 0.3 pJ/bit. Feeds Stats.Energy.BufferNJ.
+	BufferPJPerBit float64
 }
 
 func (c *Config) setDefaults() {
@@ -64,6 +75,12 @@ func (c *Config) setDefaults() {
 	}
 	if c.Horizon == 0 {
 		c.Horizon = 500
+	}
+	if c.RouterPJPerBit == 0 {
+		c.RouterPJPerBit = 0.5
+	}
+	if c.BufferPJPerBit == 0 {
+		c.BufferPJPerBit = 0.3
 	}
 }
 
@@ -181,9 +198,21 @@ type Simulator struct {
 	routing route.Routing
 	model   power.Model
 	cfg     Config
+	// tp is the routing's platform (the mesh itself on mesh routings);
+	// every link-id and coordinate lookup goes through it, so the engine
+	// replays torus and circulant routings unchanged.
+	tp      topo.Topology
 	links   []linkState
 	tracer  *Tracer
 	observe func(Delivery)
+
+	// Pooled per-component energy accumulators (nJ), copied into the
+	// Stats.Energy slab at finalize. linkSrc maps each used link id to
+	// the CoordIndex of its transmitting router, precomputed at Reset so
+	// charging router energy costs one flat-slice add per transmission.
+	routerE []float64
+	bufferE []float64
+	linkSrc []int32
 
 	// Flat per-flow path tables, built once per Reset: flow f's hop h
 	// uses link pathLink[flowOff[f]+h] on VC class pathClass[flowOff[f]+h].
@@ -264,9 +293,15 @@ func (s *Simulator) Reset(r route.Routing, model power.Model, cfg Config) error 
 	s.bound, s.ran = false, false
 	s.tracer, s.observe = nil, nil
 
-	// Per-link state: grow to the mesh's link-id space and clear, keeping
-	// queue and waiter capacities.
-	n := r.Mesh.LinkIDSpace()
+	tp := r.Topology()
+	if tp == nil {
+		return fmt.Errorf("noc: routing has no platform")
+	}
+	s.tp = tp
+
+	// Per-link state: grow to the platform's link-id space and clear,
+	// keeping queue and waiter capacities.
+	n := tp.LinkIDSpace()
 	if cap(s.links) < n {
 		s.links = make([]linkState, n)
 	}
@@ -286,6 +321,25 @@ func (s *Simulator) Reset(r route.Routing, model power.Model, cfg Config) error 
 	s.q.reset()
 	s.arena.reset()
 
+	// Energy accumulators: grow to the platform and clear.
+	cores := tp.NumCores()
+	if cap(s.routerE) < cores {
+		s.routerE = make([]float64, cores)
+	}
+	s.routerE = s.routerE[:cores]
+	for i := range s.routerE {
+		s.routerE[i] = 0
+	}
+	if cap(s.bufferE) < n {
+		s.bufferE = make([]float64, n)
+		s.linkSrc = make([]int32, n)
+	}
+	s.bufferE, s.linkSrc = s.bufferE[:n], s.linkSrc[:n]
+	for i := range s.bufferE {
+		s.bufferE[i] = 0
+		s.linkSrc[i] = -1
+	}
+
 	// DVFS operating point from the analytic loads.
 	s.loads = r.LoadsInto(s.loads)
 	for id, load := range s.loads {
@@ -294,9 +348,10 @@ func (s *Simulator) Reset(r route.Routing, model power.Model, cfg Config) error 
 		}
 		f, err := model.Quantize(load)
 		if err != nil {
-			return fmt.Errorf("noc: link %v: %w", r.Mesh.LinkByID(id), err)
+			return fmt.Errorf("noc: link %v: %w", tp.LinkByID(id), err)
 		}
 		s.links[id].freq = f
+		s.linkSrc[id] = int32(tp.CoordIndex(tp.LinkByID(id).From))
 	}
 
 	// Precompile each flow's path to flat link-id/class tables and its
@@ -315,7 +370,7 @@ func (s *Simulator) Reset(r route.Routing, model power.Model, cfg Config) error 
 		s.flowOff = append(s.flowOff, off)
 		s.period = append(s.period, cfg.PacketBits/fl.Comm.Rate)
 		for _, l := range fl.Path {
-			s.pathLink = append(s.pathLink, int32(r.Mesh.LinkID(l)))
+			s.pathLink = append(s.pathLink, int32(tp.LinkID(l)))
 			s.pathClass = append(s.pathClass, 0)
 			off++
 		}
@@ -435,9 +490,15 @@ func (s *Simulator) arrive(st *Stats, h int32, now float64) {
 	id := s.pathLink[i]
 	class := int(s.pathClass[i])
 	ls := &s.links[id]
-	if pkt.hop > 0 && s.cfg.BufferPackets > 0 {
-		ls.reserved[class]-- // the claimed slot is now occupied
-		ls.relayQueued[class]++
+	if pkt.hop > 0 {
+		// A transit packet lands in the router's input buffer (one write
+		// plus one read); freshly injected packets wait in the source
+		// NIC's queue, which is not a router buffer.
+		s.bufferE[id] += s.cfg.BufferPJPerBit * pkt.bits * 1e-3
+		if s.cfg.BufferPackets > 0 {
+			ls.reserved[class]-- // the claimed slot is now occupied
+			ls.relayQueued[class]++
+		}
 	}
 	ls.queues[class].push(h)
 	s.startNext(id, now)
@@ -513,6 +574,9 @@ func (s *Simulator) startNext(id int32, now float64) {
 		}
 		s.wakeWaiters(id, class, now)
 	}
+	// The transmitting router's datapath (crossbar + arbitration)
+	// processes every bit it forwards; pJ × bits = 1e-3 nJ.
+	s.routerE[s.linkSrc[id]] += s.cfg.RouterPJPerBit * bits * 1e-3
 	tx := bits / ls.freq
 	done := now + tx
 	if s.cfg.Switching == CutThrough {
@@ -587,8 +651,20 @@ func appendUnique[T comparable](xs []T, x T) []T {
 	return append(xs, x)
 }
 
-// finalize computes utilizations, energy and stall counts.
+// finalize computes utilizations, energy and stall counts. The Energy
+// breakdown is carved from one slab allocation; link energy is derived
+// from the accrued busy time (leakage over the whole horizon, dynamic
+// power only while transmitting), so activity accounting costs nothing
+// per event.
 func (s *Simulator) finalize(st *Stats) {
+	cores, space := s.tp.NumCores(), len(s.links)
+	slab := make([]float64, cores+2*space)
+	e := &st.Energy
+	e.RouterNJ = slab[:cores:cores]
+	e.LinkNJ = slab[cores : cores+space : cores+space]
+	e.BufferNJ = slab[cores+space:]
+	copy(e.RouterNJ, s.routerE)
+	copy(e.BufferNJ, s.bufferE)
 	for id := range s.links {
 		ls := &s.links[id]
 		st.Stalled += ls.queuedPackets()
@@ -600,7 +676,22 @@ func (s *Simulator) finalize(st *Stats) {
 		p := s.model.Pleak + s.model.Dynamic(ls.freq)
 		st.PowerMW += p
 		st.ActiveLinks++
+		// mW × µs = nJ: leakage for the whole horizon, dynamic switching
+		// only while bits were on the wire.
+		e.LinkNJ[id] = s.model.Pleak*s.cfg.Horizon + s.model.Dynamic(ls.freq)*ls.busyTime
 	}
-	// mW × µs = nJ.
+	for _, v := range e.RouterNJ {
+		e.RouterTotalNJ += v
+	}
+	for _, v := range e.LinkNJ {
+		e.LinkTotalNJ += v
+	}
+	for _, v := range e.BufferNJ {
+		e.BufferTotalNJ += v
+	}
+	e.TotalNJ = e.RouterTotalNJ + e.LinkTotalNJ + e.BufferTotalNJ
+	// EnergyNJ stays the historical static estimate — every active link
+	// at full assigned-frequency power for the whole horizon — so the
+	// activity-based Energy.TotalNJ can be compared against it.
 	st.EnergyNJ = st.PowerMW * s.cfg.Horizon
 }

@@ -29,6 +29,32 @@ func (c CommStats) AvgLatency() float64 {
 	return c.TotalLatency / float64(c.Packets)
 }
 
+// Energy is the per-component energy breakdown of a run, RACER-style:
+// router datapath energy per core, link energy per link id (leakage over
+// the whole horizon plus dynamic switching while busy), and input-buffer
+// energy per link id, all in nJ. The three slices are carved from one
+// slab and owned by the Stats. By construction
+//
+//	TotalNJ = RouterTotalNJ + LinkTotalNJ + BufferTotalNJ
+//
+// and each total is the exact sum of its per-component slice — the
+// conservation identity the accounting tests pin. Compare TotalNJ with
+// Stats.EnergyNJ (the static full-power estimate) to see how much the
+// activity-based model recovers on lightly utilized links.
+type Energy struct {
+	// RouterNJ is indexed by core CoordIndex.
+	RouterNJ []float64
+	// LinkNJ and BufferNJ are indexed by link id.
+	LinkNJ   []float64
+	BufferNJ []float64
+
+	RouterTotalNJ float64
+	LinkTotalNJ   float64
+	BufferTotalNJ float64
+	// TotalNJ is the sum of the three component totals.
+	TotalNJ float64
+}
+
 // Stats is the outcome of a simulation run.
 type Stats struct {
 	// Horizon and Warmup echo the configuration (µs).
@@ -41,8 +67,12 @@ type Stats struct {
 	LinkFreq []float64
 	// PowerMW is the total link power at the assigned frequencies.
 	PowerMW float64
-	// EnergyNJ is PowerMW × Horizon.
+	// EnergyNJ is PowerMW × Horizon — the static estimate that charges
+	// every active link full power for the whole run, the paper's
+	// figure of merit. Energy holds the activity-based breakdown.
 	EnergyNJ float64
+	// Energy is the per-component (router/link/buffer) breakdown.
+	Energy Energy
 	// ActiveLinks counts links carrying any traffic.
 	ActiveLinks int
 	// Injected counts packets injected before the horizon, warmup
@@ -64,12 +94,13 @@ type Stats struct {
 }
 
 func newStats(r route.Routing, cfg Config) *Stats {
+	space := r.Topology().LinkIDSpace()
 	st := &Stats{
 		Horizon:         cfg.Horizon,
 		Warmup:          cfg.Warmup,
 		PerComm:         make(map[int]CommStats),
-		LinkUtilization: make([]float64, r.Mesh.LinkIDSpace()),
-		LinkFreq:        make([]float64, r.Mesh.LinkIDSpace()),
+		LinkUtilization: make([]float64, space),
+		LinkFreq:        make([]float64, space),
 	}
 	for _, fl := range r.Flows {
 		cs := st.PerComm[fl.Comm.ID]

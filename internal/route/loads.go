@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/mesh"
 	"repro/internal/power"
+	"repro/internal/topo"
 )
 
 // LoadTracker is the mutable link-load account the greedy heuristics work
@@ -29,7 +30,11 @@ import (
 //     running totals accumulate float rounding across many updates;
 //     RecomputeAggregates resyncs them to the exact fresh sum.
 type LoadTracker struct {
+	// mesh is non-nil when tracking a mesh platform and keeps the hot
+	// loops on the closed-form LinkIDFast; topo is the platform for
+	// every topology (for a mesh tracker it holds the same mesh).
 	mesh  *mesh.Mesh
+	topo  topo.Topology
 	loads []float64
 	// entries is the reusable sort scratch of LinksByLoadDescInto.
 	entries []loadEntry
@@ -57,15 +62,53 @@ type loadEntry struct {
 
 // NewLoadTracker returns an empty tracker for the mesh.
 func NewLoadTracker(m *mesh.Mesh) *LoadTracker {
-	return &LoadTracker{mesh: m, loads: make([]float64, m.LinkIDSpace())}
+	return &LoadTracker{mesh: m, topo: m, loads: make([]float64, m.LinkIDSpace())}
 }
 
-// Mesh returns the tracker's mesh.
+// NewLoadTrackerTopo returns an empty tracker for any topology. A mesh
+// argument yields exactly NewLoadTracker (the fast-path fields are set
+// whenever the platform is a mesh).
+func NewLoadTrackerTopo(tp topo.Topology) *LoadTracker {
+	if m, ok := tp.(*mesh.Mesh); ok {
+		return NewLoadTracker(m)
+	}
+	return &LoadTracker{topo: tp, loads: make([]float64, tp.LinkIDSpace())}
+}
+
+// Mesh returns the tracker's mesh (nil for non-mesh topologies).
 func (t *LoadTracker) Mesh() *mesh.Mesh { return t.mesh }
+
+// Topo returns the tracker's platform topology.
+func (t *LoadTracker) Topo() topo.Topology { return t.topo }
+
+// linkID resolves a link's dense id on the tracked platform.
+func (t *LoadTracker) linkID(l mesh.Link) int {
+	if t.mesh != nil {
+		return t.mesh.LinkID(l)
+	}
+	return t.topo.LinkID(l)
+}
+
+// linkIDFast is linkID for links valid by construction: the mesh keeps
+// its check-free closed form, other topologies fall back to LinkID.
+func (t *LoadTracker) linkIDFast(l mesh.Link) int {
+	if t.mesh != nil {
+		return t.mesh.LinkIDFast(l)
+	}
+	return t.topo.LinkID(l)
+}
+
+// linkByID inverts linkID on the tracked platform.
+func (t *LoadTracker) linkByID(id int) mesh.Link {
+	if t.mesh != nil {
+		return t.mesh.LinkByID(id)
+	}
+	return t.topo.LinkByID(id)
+}
 
 // Add adds rate to the load of link l (rate may be negative to remove).
 func (t *LoadTracker) Add(l mesh.Link, rate float64) {
-	t.AddID(t.mesh.LinkID(l), rate)
+	t.AddID(t.linkID(l), rate)
 }
 
 // AddID is Add by dense link id.
@@ -74,7 +117,7 @@ func (t *LoadTracker) AddID(id int, rate float64) {
 	next := old + rate
 	if next < 0 {
 		if next < -1e-6 {
-			panic(fmt.Sprintf("route: load of %v driven to %g", t.mesh.LinkByID(id), next))
+			panic(fmt.Sprintf("route: load of %v driven to %g", t.linkByID(id), next))
 		}
 		next = 0
 	}
@@ -95,7 +138,7 @@ func (t *LoadTracker) AddPath(p Path, rate float64) {
 }
 
 // Load returns the current load of link l.
-func (t *LoadTracker) Load(l mesh.Link) float64 { return t.loads[t.mesh.LinkID(l)] }
+func (t *LoadTracker) Load(l mesh.Link) float64 { return t.loads[t.linkID(l)] }
 
 // LoadID returns the current load of the link with the given dense id.
 func (t *LoadTracker) LoadID(id int) float64 { return t.loads[id] }
@@ -121,7 +164,7 @@ func (t *LoadTracker) LoadsView() []float64 { return t.loads }
 // Clone returns an independent copy of the tracker's loads. The incidence
 // index and aggregate observer are not carried over.
 func (t *LoadTracker) Clone() *LoadTracker {
-	return &LoadTracker{mesh: t.mesh, loads: t.Loads()}
+	return &LoadTracker{mesh: t.mesh, topo: t.topo, loads: t.Loads()}
 }
 
 // Reset zeroes all loads and switches off the incidence index and the
@@ -155,7 +198,7 @@ func (t *LoadTracker) EnableIncidence() {
 // flows in the same relative order as a full scan of the set.
 func (t *LoadTracker) IncludePath(member int, p Path, rate float64) {
 	for _, l := range p {
-		id := t.mesh.LinkIDFast(l)
+		id := t.linkIDFast(l)
 		t.AddID(id, rate)
 		if t.incOn {
 			list := t.inc[id]
@@ -171,7 +214,7 @@ func (t *LoadTracker) IncludePath(member int, p Path, rate float64) {
 // link of it — the inverse of IncludePath.
 func (t *LoadTracker) ExcludePath(member int, p Path, rate float64) {
 	for _, l := range p {
-		id := t.mesh.LinkIDFast(l)
+		id := t.linkIDFast(l)
 		t.AddID(id, -rate)
 		if t.incOn {
 			list := t.inc[id]
@@ -284,7 +327,7 @@ func (t *LoadTracker) LinksByLoadDescInto(dst []mesh.Link) []mesh.Link {
 	})
 	dst = dst[:0]
 	for _, e := range t.entries {
-		dst = append(dst, t.mesh.LinkByID(e.id))
+		dst = append(dst, t.linkByID(e.id))
 	}
 	return dst
 }

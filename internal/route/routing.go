@@ -7,6 +7,7 @@ import (
 	"repro/internal/comm"
 	"repro/internal/mesh"
 	"repro/internal/power"
+	"repro/internal/topo"
 )
 
 // Flow is one routed (fragment of a) communication: the fragment's rate
@@ -18,10 +19,28 @@ type Flow struct {
 	Path Path
 }
 
-// Routing is a complete routing of a communication set on a mesh.
+// Routing is a complete routing of a communication set on a platform.
+// Mesh routings (the paper's setting, and the overwhelmingly common
+// case) set Mesh; routings on other topologies leave Mesh nil and set
+// Topo. Exactly one of the two should be non-nil — Topology() is the
+// uniform accessor.
 type Routing struct {
 	Mesh  *mesh.Mesh
+	Topo  topo.Topology
 	Flows []Flow
+}
+
+// Topology returns the platform the routing lives on: Topo when set,
+// else the mesh. The mesh keeps its dedicated field so the hot paths
+// below can stay on the devirtualized closed-form link ids.
+func (r Routing) Topology() topo.Topology {
+	if r.Topo != nil {
+		return r.Topo
+	}
+	if r.Mesh != nil {
+		return r.Mesh
+	}
+	return nil
 }
 
 // Validate checks the routing against the original communication set:
@@ -48,7 +67,7 @@ func (r Routing) Validate(orig comm.Set, maxPaths int) error {
 		if f.Comm.Rate <= 0 {
 			return fmt.Errorf("route: flow %d has non-positive rate %g", f.Comm.ID, f.Comm.Rate)
 		}
-		if err := f.Path.Validate(r.Mesh, c.Src, c.Dst); err != nil {
+		if err := r.validatePath(f.Path, c.Src, c.Dst); err != nil {
 			return fmt.Errorf("flow %d: %w", f.Comm.ID, err)
 		}
 		rates[f.Comm.ID] += f.Comm.Rate
@@ -65,9 +84,44 @@ func (r Routing) Validate(orig comm.Set, maxPaths int) error {
 	return nil
 }
 
-// Loads accumulates the traffic on every link of the mesh, indexed by
-// mesh.LinkID. The Section 3.4 validity constraint is that every entry
-// stays at or below the model's maximum bandwidth.
+// validatePath checks one flow path. Mesh routings keep the paper's
+// Manhattan-path validation (Path.Validate); routings on other
+// topologies check connectivity, per-hop link validity and endpoint
+// agreement against the topology — shortest-ness is a solver property,
+// not a Routing invariant, off the mesh.
+func (r Routing) validatePath(p Path, src, dst mesh.Coord) error {
+	if r.Mesh != nil {
+		return p.Validate(r.Mesh, src, dst)
+	}
+	tp := r.Topo
+	if tp == nil {
+		return fmt.Errorf("route: routing has neither mesh nor topology")
+	}
+	if len(p) == 0 {
+		return fmt.Errorf("route: empty path for %v->%v", src, dst)
+	}
+	if p[0].From != src {
+		return fmt.Errorf("route: path starts at %v, want %v", p[0].From, src)
+	}
+	if p[len(p)-1].To != dst {
+		return fmt.Errorf("route: path ends at %v, want %v", p[len(p)-1].To, dst)
+	}
+	at := src
+	for i, l := range p {
+		if l.From != at {
+			return fmt.Errorf("route: path disconnected at hop %d: %v after %v", i, l, at)
+		}
+		if !tp.ValidLink(l) {
+			return fmt.Errorf("route: hop %d is not a link of %s: %v", i, tp.Spec(), l)
+		}
+		at = l.To
+	}
+	return nil
+}
+
+// Loads accumulates the traffic on every link of the platform, indexed
+// by the topology's dense link id. The Section 3.4 validity constraint
+// is that every entry stays at or below the model's maximum bandwidth.
 func (r Routing) Loads() []float64 {
 	return r.LoadsInto(nil)
 }
@@ -77,6 +131,9 @@ func (r Routing) Loads() []float64 {
 // like the package's other *Into forms) — the buffer-reusing read path for
 // hot evaluation loops.
 func (r Routing) LoadsInto(dst []float64) []float64 {
+	if r.Mesh == nil {
+		return r.loadsIntoTopo(dst)
+	}
 	n := r.Mesh.LinkIDSpace()
 	if cap(dst) < n {
 		dst = make([]float64, n)
@@ -89,6 +146,26 @@ func (r Routing) LoadsInto(dst []float64) []float64 {
 	for _, f := range r.Flows {
 		for _, l := range f.Path {
 			dst[r.Mesh.LinkID(l)] += f.Comm.Rate
+		}
+	}
+	return dst
+}
+
+// loadsIntoTopo is LoadsInto for non-mesh routings, accumulating
+// through the topology's interface link ids.
+func (r Routing) loadsIntoTopo(dst []float64) []float64 {
+	n := r.Topo.LinkIDSpace()
+	if cap(dst) < n {
+		dst = make([]float64, n)
+	} else {
+		dst = dst[:n]
+		for i := range dst {
+			dst[i] = 0
+		}
+	}
+	for _, f := range r.Flows {
+		for _, l := range f.Path {
+			dst[r.Topo.LinkID(l)] += f.Comm.Rate
 		}
 	}
 	return dst

@@ -3,6 +3,7 @@ package route
 import (
 	"repro/internal/comm"
 	"repro/internal/mesh"
+	"repro/internal/topo"
 )
 
 // Workspace is the reusable dense scratch arena of the solver layer. Every
@@ -27,15 +28,18 @@ import (
 //
 // The zero value is ready to use after Bind.
 type Workspace struct {
+	// mesh is the bound mesh (nil when the workspace is bound to a
+	// non-mesh topology); topo is the bound platform in either case.
 	mesh    *mesh.Mesh
+	topo    topo.Topology
 	tracker *LoadTracker
 	paths   PathSet
 	flows   []Flow
 	scratch map[string]any
 }
 
-// NewWorkspace returns an empty workspace; it binds lazily to the mesh of
-// the first solver call that uses it.
+// NewWorkspace returns an empty workspace; it binds lazily to the
+// platform of the first solver call that uses it.
 func NewWorkspace() *Workspace { return &Workspace{} }
 
 // Bind prepares the workspace for solving on m. Binding to a mesh of the
@@ -45,16 +49,46 @@ func NewWorkspace() *Workspace { return &Workspace{} }
 func (w *Workspace) Bind(m *mesh.Mesh) {
 	if w.mesh != nil && w.mesh.P() == m.P() && w.mesh.Q() == m.Q() {
 		w.mesh = m
+		w.topo = m
 		w.tracker.mesh = m
+		w.tracker.topo = m
 		return
 	}
 	w.mesh = m
+	w.topo = m
 	w.tracker = NewLoadTracker(m)
 	w.scratch = nil
 }
 
-// Mesh returns the currently bound mesh (nil before the first Bind).
+// BindTopo prepares the workspace for solving on any topology — the
+// generalization of Bind with the same pooling rule: binding to a
+// topology with the same Spec (hence identical core set and link id
+// space) keeps all pooled state, anything else rebuilds the dense
+// buffers and drops policy scratch. A mesh argument behaves exactly
+// like Bind.
+func (w *Workspace) BindTopo(tp topo.Topology) {
+	if m, ok := tp.(*mesh.Mesh); ok {
+		w.Bind(m)
+		return
+	}
+	if w.topo != nil && w.mesh == nil && w.topo.Spec() == tp.Spec() {
+		w.topo = tp
+		w.tracker.topo = tp
+		return
+	}
+	w.mesh = nil
+	w.topo = tp
+	w.tracker = NewLoadTrackerTopo(tp)
+	w.scratch = nil
+}
+
+// Mesh returns the currently bound mesh (nil before the first Bind and
+// nil while bound to a non-mesh topology).
 func (w *Workspace) Mesh() *mesh.Mesh { return w.mesh }
+
+// Topo returns the currently bound platform topology (nil before the
+// first Bind/BindTopo).
+func (w *Workspace) Topo() topo.Topology { return w.topo }
 
 // Tracker returns the workspace's pooled LoadTracker, reset to all-zero
 // loads. Each solver call works against a freshly reset tracker; nested
@@ -255,5 +289,5 @@ func (r Routing) Clone() Routing {
 		f.Path = f.Path.Clone()
 		flows[i] = f
 	}
-	return Routing{Mesh: r.Mesh, Flows: flows}
+	return Routing{Mesh: r.Mesh, Topo: r.Topo, Flows: flows}
 }

@@ -7,6 +7,8 @@ import (
 	"hash"
 	"math"
 	"strings"
+
+	"repro/internal/topo"
 )
 
 // Hash returns the spec's canonical content hash: a hex SHA-256 over a
@@ -15,9 +17,10 @@ import (
 // were written — JSON field order never matters (decoding already
 // canonicalizes it), and the encoding normalizes the spellings that
 // cannot change a single output byte: the mesh defaults to 8x8 and
-// parses case-insensitively ("16X16" ≡ "16x16"), source and policy
-// names fold to the registry's case-insensitive key, and the empty
-// power model is the "kim-horowitz" default. Everything else —
+// parses case-insensitively ("16X16" ≡ "16x16"), the topology field is
+// canonicalized through topo.Parse (generator order, case), source and
+// policy names fold to the registry's case-insensitive key, and the
+// empty power model is the "kim-horowitz" default. Everything else —
 // captions included, because they appear verbatim in sink output — is
 // hashed as-is, so any semantic change to the spec changes the hash.
 //
@@ -37,6 +40,16 @@ func (s Spec) Hash() string {
 		// specs still have a stable identity.
 		hashString(h, s.Mesh)
 	}
+	tspec := s.Topology
+	if tspec != "" {
+		if t, err := topo.Parse(tspec); err == nil {
+			// Canonicalize resolvable topology spellings
+			// ("circulant:27:9,3,1" ≡ "circulant:27:1,3,9"); an
+			// unresolvable one never runs, hash it raw.
+			tspec = t.Spec()
+		}
+	}
+	hashString(h, tspec)
 	hashString(h, strings.ToUpper(s.SourceName()))
 	hashFloat(h, s.Params.WMin)
 	hashFloat(h, s.Params.WMax)

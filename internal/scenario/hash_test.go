@@ -88,6 +88,9 @@ func TestHashChangesWithEveryField(t *testing.T) {
 		"policies":       func(s *Spec) { s.Policies = []string{"XY", "SA"} },
 		"policies count": func(s *Spec) { s.Policies = []string{"XY"} },
 		"power":          func(s *Spec) { s.Power = "continuous" },
+		"topology torus": func(s *Spec) { s.Mesh = ""; s.Topology = "torus:8x8" },
+		"topology circ":  func(s *Spec) { s.Mesh = ""; s.Topology = "circulant:27:1,3,9" },
+		"topology chord": func(s *Spec) { s.Mesh = ""; s.Topology = "circulant:27:1,3" },
 	}
 	seen := map[string]string{base: "base"}
 	for name, mut := range muts {
@@ -98,6 +101,65 @@ func TestHashChangesWithEveryField(t *testing.T) {
 			t.Errorf("mutating %s collided with %s", name, prev)
 		}
 		seen[h] = name
+	}
+}
+
+// TestHashCanonicalizesTopology: equivalent topology spellings (family
+// case, generator order) hash equal; distinct platforms never collide.
+// The serve cache is keyed on this hash, so a mesh sweep and a torus
+// sweep over the same parameters must have different identities.
+func TestHashCanonicalizesTopology(t *testing.T) {
+	topoSpec := func(topology string) Spec {
+		sp := specForHash()
+		sp.Mesh = ""
+		sp.Topology = topology
+		sp.Policies = []string{"TABLE"}
+		return sp
+	}
+	base := topoSpec("circulant:27:1,3,9").Hash()
+	for _, equiv := range []string{
+		"CIRCULANT:27:1,3,9",
+		"circulant:27:9,3,1",
+		" circulant:27:3,1,9 ",
+	} {
+		if got := topoSpec(equiv).Hash(); got != base {
+			t.Errorf("spelling %q hashed differently from the canonical circulant", equiv)
+		}
+	}
+	mesh := specForHash()
+	torus := topoSpec("torus:8x8")
+	torus.Policies = mesh.Policies
+	if mesh.Hash() == torus.Hash() {
+		t.Error("an 8x8 mesh sweep and an 8x8 torus sweep hash equal — the serve cache would alias them")
+	}
+}
+
+// TestHashPinned pins exact hash values. The hash is the serve layer's
+// cache key and the content-addressed identity of sweep artifacts, so a
+// change here is a compatibility break: it silently invalidates every
+// existing artifact name. Update the constants only when the encoding
+// deliberately changes (as the topology field's introduction did).
+func TestHashPinned(t *testing.T) {
+	base := specForHash()
+	tor := specForHash()
+	tor.Mesh = ""
+	tor.Topology = "torus:8x8"
+	tor.Policies = []string{"TABLE"}
+	circ := specForHash()
+	circ.Mesh = ""
+	circ.Topology = "circulant:27:1,3,9"
+	circ.Policies = []string{"TABLE"}
+	for name, tc := range map[string]struct {
+		sp   Spec
+		want string
+	}{
+		"mesh":      {base, "0d67cbb7c631986ce0cfb99549b3fd76136d21f8f50cb4c3fc964caaf47e16d1"},
+		"torus":     {tor, "a504b8b23977bb830afe1a52709ce8bb81890ab5946afa11e477aa255abd7e38"},
+		"circulant": {circ, "71cf62fe7a17ca74cba2eea65ae93ad5951b43529dd034da3af86a18b98d7acd"},
+	} {
+		if got := tc.sp.Hash(); got != tc.want {
+			t.Errorf("%s: hash drifted to %s (pinned %s)", name, got, tc.want)
+		}
 	}
 }
 

@@ -7,6 +7,15 @@ import (
 	"os"
 	"strconv"
 	"strings"
+
+	"repro/internal/mesh"
+	"repro/internal/topo"
+
+	// Register the non-mesh topology families with topo.Parse, so any
+	// importer of the scenario layer can validate and resolve every
+	// spec's topology field.
+	_ "repro/internal/topo/circulant"
+	_ "repro/internal/topo/torus"
 )
 
 // Sweep axes: the parameter a Spec varies across its points.
@@ -41,6 +50,12 @@ type Spec struct {
 	// Mesh is "PxQ" (e.g. "8x8", "16x16"); empty means 8x8, the paper's
 	// platform.
 	Mesh string `json:"mesh,omitempty"`
+	// Topology selects a non-mesh platform by topo.Parse spec string
+	// (e.g. "torus:8x8", "circulant:27:1,3,9"). Empty means the mesh
+	// in Mesh. Mesh platforms stay on the Mesh field — a "mesh:PxQ"
+	// topology string is rejected so every sweep has one canonical
+	// spelling (and one cache hash).
+	Topology string `json:"topology,omitempty"`
 	// Source is the registered scenario source; empty means "uniform".
 	Source string `json:"source,omitempty"`
 	// Params is the base parameter bundle; the swept axis overrides one
@@ -87,6 +102,19 @@ func (s Spec) MeshDims() (p, q int, err error) {
 		return 8, 8, nil
 	}
 	return ParseMesh(s.Mesh)
+}
+
+// TopologyOf resolves the spec's platform: the Topology spec string
+// when set, else the mesh of MeshDims.
+func (s Spec) TopologyOf() (topo.Topology, error) {
+	if s.Topology == "" {
+		p, q, err := s.MeshDims()
+		if err != nil {
+			return nil, err
+		}
+		return mesh.MustNew(p, q), nil
+	}
+	return topo.Parse(s.Topology)
 }
 
 // SourceName returns the spec's source (default "uniform").
@@ -153,6 +181,21 @@ func (s Spec) DefaultXLabel() string {
 func (s Spec) Validate() error {
 	if _, _, err := s.MeshDims(); err != nil {
 		return err
+	}
+	if s.Topology != "" {
+		if s.Mesh != "" {
+			return fmt.Errorf("scenario: both mesh %q and topology %q set — a mesh platform uses the mesh field alone", s.Mesh, s.Topology)
+		}
+		t, err := topo.Parse(s.Topology)
+		if err != nil {
+			return err
+		}
+		if t.Name() == "mesh" {
+			return fmt.Errorf("scenario: topology %q is a mesh — spell it in the mesh field", s.Topology)
+		}
+		if s.Axis == AxisLength || s.Params.Length != 0 {
+			return fmt.Errorf("scenario: target-length draws are a Manhattan-mesh notion and are not supported on %s", t.Spec())
+		}
 	}
 	src, err := Lookup(s.SourceName())
 	if err != nil {

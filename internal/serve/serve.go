@@ -64,6 +64,7 @@ import (
 	"repro/internal/power"
 	"repro/internal/scenario"
 	"repro/internal/solve"
+	"repro/internal/topo"
 )
 
 // Config tunes the server. The zero value serves with sensible defaults.
@@ -162,6 +163,9 @@ type Server struct {
 	meshMu sync.RWMutex
 	meshes map[[2]int]*mesh.Mesh
 
+	topoMu sync.RWMutex
+	topos  map[string]topo.Topology
+
 	solves       atomic.Uint64
 	solveRejects atomic.Uint64
 	sweepsRun    atomic.Uint64
@@ -180,6 +184,7 @@ func New(cfg Config) *Server {
 		cache:  newSweepCache(cfg.CacheEntries),
 		sem:    make(chan struct{}, cfg.MaxSweeps),
 		meshes: make(map[[2]int]*mesh.Mesh),
+		topos:  make(map[string]topo.Topology),
 	}
 	s.shards = make([]*shard, cfg.SolveShards)
 	for i := range s.shards {
@@ -281,6 +286,33 @@ func (s *Server) meshFor(spec string) (*mesh.Mesh, error) {
 	return m, nil
 }
 
+// topoFor parses and caches a non-mesh topology spec string, so every
+// request on one platform shares one topology value — which keys the
+// shards' pooled trackers and the pooled workspace rebinding by its
+// canonical Spec string.
+func (s *Server) topoFor(spec string) (topo.Topology, error) {
+	s.topoMu.RLock()
+	t := s.topos[spec]
+	s.topoMu.RUnlock()
+	if t != nil {
+		return t, nil
+	}
+	parsed, err := topo.Parse(spec)
+	if err != nil {
+		return nil, err
+	}
+	if parsed.Name() == "mesh" {
+		return nil, fmt.Errorf("serve: topology %q is a mesh — spell it in the mesh field", spec)
+	}
+	s.topoMu.Lock()
+	defer s.topoMu.Unlock()
+	if cached := s.topos[spec]; cached != nil {
+		return cached, nil
+	}
+	s.topos[spec] = parsed
+	return parsed, nil
+}
+
 // modelFor resolves the power model names the scenario specs use.
 func modelFor(name string) (power.Model, error) {
 	switch name {
@@ -296,6 +328,11 @@ func modelFor(name string) (power.Model, error) {
 type SolveRequest struct {
 	// Mesh is the "PxQ" platform geometry ("" = 8x8).
 	Mesh string `json:"mesh,omitempty"`
+	// Topology selects a non-mesh platform by topo.Parse spec string
+	// (e.g. "torus:8x8", "circulant:27:1,3,9"); mutually exclusive with
+	// Mesh, which stays the one spelling for mesh platforms. The policy
+	// must be topology-capable (TABLE).
+	Topology string `json:"topology,omitempty"`
 	// Policy is any registered routing policy name.
 	Policy string `json:"policy"`
 	// Power selects the link power model like scenario.Spec.Power.
@@ -383,10 +420,27 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
-	m, err := s.meshFor(req.Mesh)
-	if err != nil {
-		httpError(w, http.StatusBadRequest, err)
-		return
+	var (
+		m  *mesh.Mesh
+		tp topo.Topology
+	)
+	if req.Topology != "" {
+		if req.Mesh != "" {
+			httpError(w, http.StatusBadRequest,
+				fmt.Errorf("serve: both mesh %q and topology %q set — a mesh platform uses the mesh field alone", req.Mesh, req.Topology))
+			return
+		}
+		var err error
+		if tp, err = s.topoFor(req.Topology); err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+	} else {
+		var err error
+		if m, err = s.meshFor(req.Mesh); err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
 	}
 	model, err := modelFor(req.Power)
 	if err != nil {
@@ -396,6 +450,11 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	solver, err := solve.Lookup(req.Policy)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	if tp != nil && !solve.Supports(solver, tp) {
+		httpError(w, http.StatusBadRequest,
+			fmt.Errorf("serve: policy %s routes meshes only, not %s", solver.Name(), tp.Spec()))
 		return
 	}
 	sim, err := simConfig(req.Sim)
@@ -412,7 +471,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 			Rate: c.Rate,
 		}
 	}
-	in := solve.Instance{Mesh: m, Model: model, Comms: set}
+	in := solve.Instance{Mesh: m, Topo: tp, Model: model, Comms: set}
 	if err := in.Validate(); err != nil {
 		httpError(w, http.StatusBadRequest, err)
 		return
@@ -522,6 +581,24 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	}
 	for _, name := range sp.Policies {
 		if _, err := solve.Lookup(name); err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+	}
+	// A non-mesh sweep must fail before a cache entry exists for its
+	// hash, so a mesh-only policy list never parks an error stream in
+	// the cache.
+	if sp.Topology != "" {
+		t, err := sp.TopologyOf()
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		names := sp.Policies
+		if len(names) == 0 {
+			names = experiments.HeuristicNames
+		}
+		if err := solve.CheckTopology(names, t); err != nil {
 			httpError(w, http.StatusBadRequest, err)
 			return
 		}

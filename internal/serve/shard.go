@@ -55,25 +55,28 @@ type shard struct {
 // shardScratch is the worker's permanent state.
 type shardScratch struct {
 	ws       *route.Workspace
-	trackers map[[2]int]*route.LoadTracker
+	trackers map[string]*route.LoadTracker
 	nocWS    *noc.Workspace
 }
 
 func newShardScratch() *shardScratch {
 	return &shardScratch{
 		ws:       route.NewWorkspace(),
-		trackers: make(map[[2]int]*route.LoadTracker),
+		trackers: make(map[string]*route.LoadTracker),
 		nocWS:    noc.NewWorkspace(),
 	}
 }
 
-// tracker returns the scratch's load tracker for the instance's mesh
-// geometry, creating it on the first request that uses the geometry.
+// tracker returns the scratch's load tracker for the instance's platform,
+// creating it on the first request that uses the topology. The key is the
+// topology's canonical Spec string ("mesh:8x8", "torus:8x8", ...), so one
+// tracker serves every request on one platform, mesh or not.
 func (sc *shardScratch) tracker(in solve.Instance) *route.LoadTracker {
-	key := [2]int{in.Mesh.P(), in.Mesh.Q()}
+	tp := in.Topology()
+	key := tp.Spec()
 	t, ok := sc.trackers[key]
 	if !ok {
-		t = route.NewLoadTracker(in.Mesh)
+		t = route.NewLoadTrackerTopo(tp)
 		sc.trackers[key] = t
 	}
 	return t

@@ -24,6 +24,7 @@ import (
 	"repro/internal/mesh"
 	"repro/internal/power"
 	"repro/internal/route"
+	"repro/internal/topo"
 )
 
 // ErrStopped is returned by a solver that abandoned its search because
@@ -33,23 +34,44 @@ import (
 // experiment engine returns context.Canceled for it).
 var ErrStopped = errors.New("solve: stopped by Options.Stop")
 
-// Instance is one routing problem: a mesh CMP, a link power model, and the
-// communication set to route.
+// Instance is one routing problem: a CMP platform, a link power model,
+// and the communication set to route. The platform is either the
+// paper's mesh (Mesh set, Topo nil — the common case, and the only one
+// the Manhattan policy families accept) or any other topology (Topo
+// set, Mesh nil). Topology() is the uniform accessor.
 type Instance struct {
 	Mesh  *mesh.Mesh
+	Topo  topo.Topology
 	Model power.Model
 	Comms comm.Set
 }
 
+// Topology returns the instance's platform: Topo when set, else Mesh.
+func (in Instance) Topology() topo.Topology {
+	if in.Topo != nil {
+		return in.Topo
+	}
+	if in.Mesh != nil {
+		return in.Mesh
+	}
+	return nil
+}
+
 // Validate checks the instance for well-formedness.
 func (in Instance) Validate() error {
-	if in.Mesh == nil {
-		return fmt.Errorf("solve: nil mesh")
+	if in.Mesh == nil && in.Topo == nil {
+		return fmt.Errorf("solve: nil mesh and nil topology")
+	}
+	if in.Mesh != nil && in.Topo != nil && in.Mesh != in.Topo {
+		return fmt.Errorf("solve: both Mesh and Topo set on instance")
 	}
 	if err := in.Model.Validate(); err != nil {
 		return err
 	}
-	return in.Comms.Validate(in.Mesh)
+	if in.Mesh != nil {
+		return in.Comms.Validate(in.Mesh)
+	}
+	return in.Comms.ValidateOn(in.Topo)
 }
 
 // Options carries every tunable a policy may consume. The zero value is
@@ -160,6 +182,56 @@ func Route(policy string, in Instance, opts Options) (route.Routing, error) {
 		return route.Routing{}, err
 	}
 	return s.Route(in, opts)
+}
+
+// TopologyAware marks a Solver that accepts instances on any topology
+// (Instance.Topo set). Solvers without the marker are Manhattan/mesh
+// policies: they may only be given mesh instances. The marker is a
+// static capability declaration, so callers can reject a policy/
+// topology mismatch before drawing workloads or caching sweep keys.
+type TopologyAware interface {
+	Solver
+	// RoutesTopologies reports (statically) that Route understands
+	// Instance.Topo.
+	RoutesTopologies() bool
+}
+
+// Supports reports whether the solver can route instances on tp: every
+// solver supports the mesh, non-mesh topologies require the
+// TopologyAware marker.
+func Supports(s Solver, tp topo.Topology) bool {
+	if _, ok := tp.(*mesh.Mesh); ok {
+		return true
+	}
+	ta, ok := s.(TopologyAware)
+	return ok && ta.RoutesTopologies()
+}
+
+// CheckTopology resolves each policy name and verifies it supports tp,
+// returning a descriptive error naming the topology-capable policies on
+// the first mismatch — the shared pre-validation of the experiment
+// engine and the serve endpoints.
+func CheckTopology(policies []string, tp topo.Topology) error {
+	var capable []string
+	for _, name := range policies {
+		s, err := Lookup(name)
+		if err != nil {
+			return err
+		}
+		if Supports(s, tp) {
+			continue
+		}
+		if capable == nil {
+			for _, n := range Policies() {
+				if c, err := Lookup(n); err == nil && Supports(c, tp) {
+					capable = append(capable, n)
+				}
+			}
+		}
+		return fmt.Errorf("solve: policy %q routes meshes only, not %s (topology-capable policies: %s)",
+			s.Name(), tp.Spec(), strings.Join(capable, ", "))
+	}
+	return nil
 }
 
 // Func adapts a plain function to the Solver interface, for policies that

@@ -1,0 +1,77 @@
+// Package tabroute implements TABLE, the topology-generic table-driven
+// routing policy: every communication follows its topology's one
+// deterministic shortest path (the route an rtable.NextHops forwarding
+// table ships to the routers — the deployment mode of Shchegoleva et
+// al.'s circulant NoCs). TABLE is the baseline policy for non-mesh
+// topologies, the role XY plays on the mesh; on a mesh instance it
+// produces exactly the XY routing, since the mesh's canonical route is
+// the XY path.
+//
+// TABLE is deterministic, load-oblivious, and O(Σ path length) per
+// solve with zero allocations under a pooled workspace. It registers
+// itself under the name "TABLE" and carries the solve.TopologyAware
+// marker.
+package tabroute
+
+import (
+	"fmt"
+
+	"repro/internal/mesh"
+	"repro/internal/route"
+	"repro/internal/solve"
+)
+
+func init() { solve.Register(Solver{}) }
+
+// Solver is the TABLE policy.
+type Solver struct{}
+
+// Name implements solve.Solver.
+func (Solver) Name() string { return "TABLE" }
+
+// RoutesTopologies marks TABLE as topology-capable (solve.TopologyAware).
+func (Solver) RoutesTopologies() bool { return true }
+
+// Route implements solve.Solver: one table route per communication, in
+// set order.
+func (Solver) Route(in solve.Instance, opts solve.Options) (route.Routing, error) {
+	tp := in.Topology()
+	if tp == nil {
+		return route.Routing{}, fmt.Errorf("tabroute: instance has no platform")
+	}
+	ws := opts.Workspace
+	var (
+		ps    *route.PathSet
+		flows []route.Flow
+	)
+	if ws != nil {
+		ws.BindTopo(tp)
+		ps = ws.Paths()
+		ps.ResetFor(in.Comms)
+		flows = ws.Flows(len(in.Comms))
+	} else {
+		flows = make([]route.Flow, 0, len(in.Comms))
+	}
+	for _, c := range in.Comms {
+		var p route.Path
+		if ps != nil {
+			p = route.Path(tp.AppendRoute(ps.Acquire(c.ID, tp.Distance(c.Src, c.Dst)), c.Src, c.Dst))
+			ps.Set(c.ID, p)
+		} else {
+			p = route.Path(tp.AppendRoute(make([]mesh.Link, 0, tp.Distance(c.Src, c.Dst)), c.Src, c.Dst))
+		}
+		flows = append(flows, route.Flow{Comm: c, Path: p})
+	}
+	if ws != nil {
+		ws.SetFlows(flows)
+	}
+	r := route.Routing{Flows: flows}
+	if m, ok := tp.(*mesh.Mesh); ok {
+		r.Mesh = m
+	} else {
+		r.Topo = tp
+	}
+	return r, nil
+}
+
+var _ solve.TopologyAware = Solver{}

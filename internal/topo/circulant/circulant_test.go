@@ -1,0 +1,129 @@
+package circulant
+
+import (
+	"testing"
+
+	"repro/internal/mesh"
+	"repro/internal/topo"
+)
+
+func TestNewValidation(t *testing.T) {
+	cases := []struct {
+		n    int
+		gens []int
+	}{
+		{4, []int{1}},      // too small
+		{8, nil},           // no generators
+		{8, []int{0}},      // generator below range
+		{8, []int{4}},      // generator == N/2
+		{8, []int{1, 1}},   // duplicate
+		{9, []int{3}},      // gcd(3,9)=3: disconnected
+		{12, []int{2, 4}},  // gcd 2: disconnected
+		{10, []int{1, 17}}, // out of range
+	}
+	for _, c := range cases {
+		if _, err := New(c.n, c.gens); err == nil {
+			t.Errorf("New(%d, %v): want error", c.n, c.gens)
+		}
+	}
+}
+
+func TestSpecCanonicalizesGenerators(t *testing.T) {
+	c, err := New(27, []int{9, 1, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Spec(); got != "circulant:27:1,3,9" {
+		t.Fatalf("Spec = %q", got)
+	}
+	tp, err := topo.Parse("circulant:27:9,3,1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tp.Spec() != c.Spec() {
+		t.Fatalf("Parse spec %q != %q", tp.Spec(), c.Spec())
+	}
+}
+
+func TestLinkIDBijection(t *testing.T) {
+	c, err := New(16, []int{1, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := c.NumLinks(), 2*2*16; got != want {
+		t.Fatalf("NumLinks = %d, want %d", got, want)
+	}
+	links := c.Links()
+	seen := map[mesh.Link]bool{}
+	for id, l := range links {
+		if !c.ValidLink(l) {
+			t.Fatalf("link %v (id %d) not valid", l, id)
+		}
+		if got := c.LinkID(l); got != id {
+			t.Fatalf("LinkID(LinkByID(%d)) = %d", id, got)
+		}
+		if seen[l] {
+			t.Fatalf("duplicate link value %v", l)
+		}
+		seen[l] = true
+	}
+}
+
+func TestRingDistanceSingleGenerator(t *testing.T) {
+	// C(7; 1) is the bidirectional ring: distance is min(d, 7-d).
+	c, err := New(7, []int{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 7; i++ {
+		for j := 0; j < 7; j++ {
+			d := ((j - i) + 7) % 7
+			if 7-d < d {
+				d = 7 - d
+			}
+			if got := c.Distance(c.CoordAt(i), c.CoordAt(j)); got != d {
+				t.Fatalf("Distance(%d,%d) = %d, want %d", i, j, got, d)
+			}
+		}
+	}
+}
+
+func TestRoutesAreValidShortestAndSymmetricDistance(t *testing.T) {
+	c, err := New(27, []int{1, 3, 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf []mesh.Link
+	maxDist := 0
+	for i := 0; i < c.NumCores(); i++ {
+		for j := 0; j < c.NumCores(); j++ {
+			src, dst := c.CoordAt(i), c.CoordAt(j)
+			d := c.Distance(src, dst)
+			if back := c.Distance(dst, src); back != d {
+				t.Fatalf("asymmetric distance %v<->%v: %d vs %d", src, dst, d, back)
+			}
+			if d > maxDist {
+				maxDist = d
+			}
+			buf = c.AppendRoute(buf[:0], src, dst)
+			if len(buf) != d {
+				t.Fatalf("route %v->%v has %d hops, distance %d", src, dst, len(buf), d)
+			}
+			at := src
+			for _, l := range buf {
+				if l.From != at || !c.ValidLink(l) {
+					t.Fatalf("route %v->%v broken at %v", src, dst, l)
+				}
+				at = l.To
+			}
+			if at != dst {
+				t.Fatalf("route %v->%v ends at %v", src, dst, at)
+			}
+		}
+	}
+	// The multiplicative circulant's diameter must beat the plain
+	// ring's floor(27/2) = 13 — that is the point of the chords.
+	if maxDist >= 13 {
+		t.Fatalf("diameter %d not improved by chords", maxDist)
+	}
+}

@@ -1,0 +1,127 @@
+package torus
+
+import (
+	"testing"
+
+	"repro/internal/mesh"
+	"repro/internal/topo"
+)
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// wrapDist is the closed-form torus distance the compiled table must
+// reproduce: per-axis min of the direct and the wrapping walk.
+func wrapDist(p, q int, a, b mesh.Coord) int {
+	du, dv := abs(a.U-b.U), abs(a.V-b.V)
+	if p-du < du {
+		du = p - du
+	}
+	if q-dv < dv {
+		dv = q - dv
+	}
+	return du + dv
+}
+
+func TestNewRejectsSmallDims(t *testing.T) {
+	for _, d := range [][2]int{{2, 5}, {5, 2}, {1, 8}, {0, 3}} {
+		if _, err := New(d[0], d[1]); err == nil {
+			t.Errorf("New(%d,%d): want error", d[0], d[1])
+		}
+	}
+}
+
+func TestLinkIDBijection(t *testing.T) {
+	tor, err := New(4, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := tor.NumLinks(), 4*4*5; got != want {
+		t.Fatalf("NumLinks = %d, want %d", got, want)
+	}
+	links := tor.Links()
+	if len(links) != tor.LinkIDSpace() {
+		t.Fatalf("Links() returned %d links, want %d", len(links), tor.LinkIDSpace())
+	}
+	seen := map[mesh.Link]bool{}
+	for id, l := range links {
+		if !tor.ValidLink(l) {
+			t.Fatalf("link %v (id %d) not valid", l, id)
+		}
+		if got := tor.LinkID(l); got != id {
+			t.Fatalf("LinkID(LinkByID(%d)) = %d", id, got)
+		}
+		if seen[l] {
+			t.Fatalf("duplicate link value %v", l)
+		}
+		seen[l] = true
+	}
+}
+
+func TestDistanceMatchesClosedForm(t *testing.T) {
+	tor, err := New(5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < tor.NumCores(); i++ {
+		for j := 0; j < tor.NumCores(); j++ {
+			a, b := tor.CoordAt(i), tor.CoordAt(j)
+			if got, want := tor.Distance(a, b), wrapDist(5, 3, a, b); got != want {
+				t.Fatalf("Distance(%v,%v) = %d, want %d", a, b, got, want)
+			}
+		}
+	}
+}
+
+func TestRoutesAreValidShortestAndDeterministic(t *testing.T) {
+	tor, err := New(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf, buf2 []mesh.Link
+	for i := 0; i < tor.NumCores(); i++ {
+		for j := 0; j < tor.NumCores(); j++ {
+			src, dst := tor.CoordAt(i), tor.CoordAt(j)
+			buf = tor.AppendRoute(buf[:0], src, dst)
+			if len(buf) != tor.Distance(src, dst) {
+				t.Fatalf("route %v->%v has %d hops, distance %d", src, dst, len(buf), tor.Distance(src, dst))
+			}
+			at := src
+			for _, l := range buf {
+				if l.From != at || !tor.ValidLink(l) {
+					t.Fatalf("route %v->%v broken at %v (at %v)", src, dst, l, at)
+				}
+				at = l.To
+			}
+			if at != dst {
+				t.Fatalf("route %v->%v ends at %v", src, dst, at)
+			}
+			buf2 = tor.AppendRoute(buf2[:0], src, dst)
+			for k := range buf {
+				if buf[k] != buf2[k] {
+					t.Fatalf("route %v->%v not deterministic", src, dst)
+				}
+			}
+		}
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	tp, err := topo.Parse("torus:6x4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tp.Spec() != "torus:6x4" || tp.Name() != "torus" {
+		t.Fatalf("Parse round trip: got %q / %q", tp.Spec(), tp.Name())
+	}
+	if tp.Carrier().P() != 6 || tp.Carrier().Q() != 4 {
+		t.Fatalf("carrier dims %dx%d", tp.Carrier().P(), tp.Carrier().Q())
+	}
+	if _, err := topo.Parse("torus:2x9"); err == nil {
+		t.Fatal("Parse(torus:2x9): want error")
+	}
+}
